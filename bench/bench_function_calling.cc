@@ -1,0 +1,147 @@
+// §2.2 claim: co-locating tool execution with generation removes client
+// round trips.
+//
+// Workload: an agent task that alternates k times between generating a short
+// "thought" and executing a tool. Two implementations:
+//   * symphony    — one LIP; tools run server-side via call_tool; the KV
+//                   context persists in KVFS across the whole task.
+//   * client-side — the classic prompt-API pattern: each round is a fresh
+//                   completion request carrying the full conversation; the
+//                   client pays a network round trip per tool call and per
+//                   generation turn. (The baseline has prefix caching, so
+//                   re-sent context is not recomputed — only re-transmitted
+//                   and re-queued.)
+// Sweeps tool-call count and network RTT; reports end-to-end task latency.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/prompt_server.h"
+#include "src/serve/server.h"
+
+namespace symphony {
+namespace {
+
+constexpr int kThoughtTokens = 8;
+constexpr int kObservationTokens = 8;
+constexpr SimDuration kToolLatency = Millis(30);
+
+// One agent task on Symphony: returns virtual completion time.
+double RunSymphonyAgent(int tool_calls) {
+  Simulator sim;
+  SymphonyServer server(&sim, ServerOptions{});
+  (void)server.tools().Register(ToolRegistry::Echo("tool", kToolLatency));
+
+  SimTime finished = 0;
+  server.Launch(
+      "agent",
+      [&, tool_calls](LipContext& ctx) -> Task {
+        KvHandle kv = *ctx.kv_tmp();
+        std::vector<TokenId> task(32, kFirstWordToken + 7);
+        (void)co_await ctx.pred(kv, task);
+        TokenId t = 260;
+        for (int round = 0; round < tool_calls; ++round) {
+          // The token sampled from the previous distribution counts as the
+          // first thought token (as it would in a completion API), so only
+          // kThoughtTokens - 1 further steps are needed.
+          for (int i = 1; i < kThoughtTokens; ++i) {
+            StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+            if (!d.ok()) {
+              co_return;
+            }
+            t = d->back().Argmax();
+          }
+          StatusOr<std::string> result =
+              co_await ctx.call_tool("tool", std::to_string(round));
+          if (!result.ok()) {
+            co_return;
+          }
+          std::vector<TokenId> obs(kObservationTokens, kFirstWordToken + 9);
+          StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, obs);
+          if (!d.ok()) {
+            co_return;
+          }
+          t = d->back().Argmax();
+        }
+        co_return;
+      },
+      [&](LipId) { finished = sim.now(); });
+  sim.Run();
+  return ToSeconds(finished);
+}
+
+// The client-side emulation against a vLLM-like prompt server.
+double RunClientSideAgent(int tool_calls, SimDuration rtt) {
+  Simulator sim;
+  BaselineOptions options = PromptServer::VllmLike();
+  PromptServer server(&sim, options);
+
+  // The "client": a state machine driven by simulator events. Each round:
+  // RTT/2 -> completion request (thought) -> RTT/2 -> local tool execution
+  // -> RTT/2 -> next request with the grown conversation.
+  struct ClientState {
+    std::vector<TokenId> conversation = std::vector<TokenId>(32, kFirstWordToken + 7);
+    int rounds_left = 0;
+    SimTime finished = 0;
+  };
+  auto state = std::make_shared<ClientState>();
+  state->rounds_left = tool_calls;
+
+  // NOLINTNEXTLINE(misc-no-recursion): event-driven round trip loop.
+  std::function<void()> next_round = [&sim, &server, state, rtt, &next_round] {
+    if (state->rounds_left == 0) {
+      state->finished = sim.now();
+      return;
+    }
+    --state->rounds_left;
+    // Client -> server (half RTT), generate the thought.
+    sim.ScheduleAfter(rtt / 2, [&sim, &server, state, rtt, &next_round] {
+      CompletionRequest request;
+      request.prompt = state->conversation;
+      request.max_new_tokens = kThoughtTokens;
+      request.stop_at_eos = false;
+      request.done = [&sim, state, rtt, &next_round](const CompletionResponse& r) {
+        if (!r.status.ok()) {
+          state->finished = sim.now();
+          return;
+        }
+        state->conversation.insert(state->conversation.end(), r.tokens.begin(),
+                                   r.tokens.end());
+        // Server -> client (half RTT), then the client executes the tool
+        // locally and appends the observation.
+        sim.ScheduleAfter(rtt / 2 + kToolLatency, [state, &next_round] {
+          std::vector<TokenId> obs(kObservationTokens, kFirstWordToken + 9);
+          state->conversation.insert(state->conversation.end(), obs.begin(),
+                                     obs.end());
+          next_round();
+        });
+      };
+      server.Submit(std::move(request));
+    });
+  };
+  next_round();
+  sim.Run();
+  return ToSeconds(state->finished);
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  using namespace symphony;
+  std::printf("bench_function_calling: server-side tools vs client round trips\n");
+
+  for (SimDuration rtt : {Millis(10), Millis(50), Millis(150)}) {
+    BenchTable table({"tool_calls", "symphony_s", "client_s", "client/symphony"});
+    for (int calls : {1, 2, 4, 8, 16}) {
+      double sym = RunSymphonyAgent(calls);
+      double client = RunClientSideAgent(calls, rtt);
+      table.AddRow({std::to_string(calls), Fmt(sym, 3), Fmt(client, 3),
+                    Fmt(client / sym)});
+    }
+    table.Print("end-to-end agent latency, network RTT " +
+                Fmt(ToMillis(rtt), 0) + " ms");
+  }
+  return 0;
+}

@@ -1,0 +1,203 @@
+// §2.1 claim: application-defined KV retention beats system-wide policy.
+//
+// Two experiments:
+//
+// 1. Multi-round chat under memory pressure. N sessions interleave rounds
+//    with think time; between rounds a session's KV sits idle. The serving
+//    system cannot know which idle KV will return (its LRU treats a finished
+//    one-shot request and a paused session identically), but the application
+//    can: the Symphony session LIP keeps its KV file alive (and lets KVFS
+//    offload it to host under pressure) so every round resumes incrementally.
+//    The baselines re-send the growing conversation each round; the
+//    vLLM-like prefix cache helps only while the cached blocks survive LRU.
+//
+// 2. The Figure 3 policy-refinement ablation: pinning the hottest documents
+//    on-GPU (pin_top_k) helps under high skew and wastes memory at flat
+//    popularity — evidence that policy belongs to the application, which
+//    knows its workload.
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/baseline/prompt_server.h"
+#include "src/serve/server.h"
+#include "src/sim/distributions.h"
+#include "src/workload/rag.h"
+
+namespace symphony {
+namespace {
+
+struct ChatConfig {
+  // Sized so that idle-session KV exceeds the device budget (~61k tokens):
+  // 60 sessions x up to ~1.6k tokens of conversation = ~96k tokens.
+  int sessions = 60;
+  int rounds = 5;
+  int user_tokens = 256;
+  int reply_tokens = 64;
+  SimDuration think_time = Seconds(20);
+  uint64_t seed = 17;
+};
+
+struct ChatResult {
+  double mean_round_latency_ms = 0.0;
+  double total_s = 0.0;
+  uint64_t prefill_tokens = 0;  // Model-computed prompt tokens (waste metric).
+};
+
+std::vector<TokenId> UserTurn(const ChatConfig& config, int session, int round) {
+  std::vector<TokenId> turn;
+  Rng rng(config.seed ^ (static_cast<uint64_t>(session) << 20) ^
+          static_cast<uint64_t>(round));
+  for (int i = 0; i < config.user_tokens; ++i) {
+    turn.push_back(
+        static_cast<TokenId>(kFirstWordToken + rng.NextBounded(20000)));
+  }
+  return turn;
+}
+
+ChatResult RunChatOnSymphony(const ChatConfig& config) {
+  Simulator sim;
+  SymphonyServer server(&sim, ServerOptions{});
+  SampleSeries round_ms;
+
+  for (int s = 0; s < config.sessions; ++s) {
+    // Stagger session starts across one think period so rounds desynchronize.
+    sim.ScheduleAt(config.think_time * s / config.sessions, [&, s] {
+    server.Launch("chat-" + std::to_string(s), [&, s](LipContext& ctx) -> Task {
+      // The application keeps the session KV file for the whole dialogue.
+      KvHandle kv = *ctx.kv_tmp();
+      for (int round = 0; round < config.rounds; ++round) {
+        SimTime round_start = ctx.now();
+        std::vector<TokenId> turn = UserTurn(config, s, round);
+        StatusOr<std::vector<Distribution>> d0 = co_await ctx.pred(kv, turn);
+        if (!d0.ok()) {
+          co_return;
+        }
+        TokenId t = d0->back().Argmax();
+        for (int i = 0; i < config.reply_tokens; ++i) {
+          StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+          if (!d.ok()) {
+            co_return;
+          }
+          t = d->back().Argmax();
+        }
+        round_ms.Add(ToMillis(ctx.now() - round_start));
+        // Application policy: this KV is idle until the user replies — park
+        // it in host memory so active sessions get the device.
+        (void)ctx.kv_offload(kv);
+        co_await ctx.sleep(config.think_time);  // User reads and types.
+      }
+      co_return;
+    });
+    });
+  }
+  sim.Run();
+
+  ChatResult result;
+  result.mean_round_latency_ms = round_ms.mean();
+  result.total_s = ToSeconds(sim.now());
+  result.prefill_tokens = server.device().stats().new_tokens;
+  return result;
+}
+
+ChatResult RunChatOnBaseline(const ChatConfig& config, BaselineOptions options) {
+  Simulator sim;
+  PromptServer server(&sim, options);
+  SampleSeries round_ms;
+
+  struct Session {
+    std::vector<TokenId> conversation;
+    int round = 0;
+  };
+  auto sessions = std::make_shared<std::vector<Session>>(config.sessions);
+
+  // Each round re-sends the whole conversation as a prompt.
+  std::function<void(int)> do_round = [&, sessions](int s) {
+    Session& session = (*sessions)[static_cast<size_t>(s)];
+    if (session.round >= config.rounds) {
+      return;
+    }
+    std::vector<TokenId> turn = UserTurn(config, s, session.round);
+    session.conversation.insert(session.conversation.end(), turn.begin(),
+                                turn.end());
+    ++session.round;
+    SimTime start = sim.now();
+    CompletionRequest request;
+    request.prompt = session.conversation;
+    request.max_new_tokens = static_cast<uint32_t>(config.reply_tokens);
+    request.stop_at_eos = false;
+    request.done = [&, sessions, s, start](const CompletionResponse& r) {
+      if (!r.status.ok()) {
+        return;
+      }
+      Session& sess = (*sessions)[static_cast<size_t>(s)];
+      sess.conversation.insert(sess.conversation.end(), r.tokens.begin(),
+                               r.tokens.end());
+      round_ms.Add(ToMillis(sim.now() - start));
+      sim.ScheduleAfter(config.think_time, [&, s] { do_round(s); });
+    };
+    server.Submit(std::move(request));
+  };
+  for (int s = 0; s < config.sessions; ++s) {
+    sim.ScheduleAt(config.think_time * s / config.sessions, [&, s] { do_round(s); });
+  }
+  sim.Run();
+
+  ChatResult result;
+  result.mean_round_latency_ms = round_ms.mean();
+  result.total_s = ToSeconds(sim.now());
+  result.prefill_tokens = server.device().stats().new_tokens;
+  return result;
+}
+
+void ChatExperiment() {
+  ChatConfig config;
+  ChatResult sym = RunChatOnSymphony(config);
+  ChatResult vllm = RunChatOnBaseline(config, PromptServer::VllmLike());
+  ChatResult tgi = RunChatOnBaseline(config, PromptServer::TgiLike());
+
+  BenchTable table({"system", "round_ms(mean)", "model_tokens", "vs_symphony"});
+  table.AddRow({"symphony", Fmt(sym.mean_round_latency_ms),
+                std::to_string(sym.prefill_tokens), Fmt(1.0)});
+  table.AddRow({"vllm-like", Fmt(vllm.mean_round_latency_ms),
+                std::to_string(vllm.prefill_tokens),
+                Fmt(vllm.mean_round_latency_ms / sym.mean_round_latency_ms)});
+  table.AddRow({"tgi-like", Fmt(tgi.mean_round_latency_ms),
+                std::to_string(tgi.prefill_tokens),
+                Fmt(tgi.mean_round_latency_ms / sym.mean_round_latency_ms)});
+  table.Print("multi-round chat under memory pressure: 60 sessions x 5 rounds, "
+              "per-round latency and total model-computed tokens");
+}
+
+void PinAblation() {
+  BenchTable table({"pareto", "pin=0", "pin=2", "pin=4", "pin=8"});
+  for (double index : {0.2, 0.8, 2.0}) {
+    std::vector<std::string> row = {Fmt(index, 1)};
+    for (size_t pin : {0u, 2u, 4u, 8u}) {
+      RagConfig config;
+      config.answer_tokens = 32;
+      config.num_requests = 200;
+      config.request_rate = 12.0;
+      config.pareto_index = index;
+      config.max_active = 20;
+      config.pin_top_k = pin;
+      RagRunResult r = RunRagOnSymphony(config, ServerOptions{});
+      row.push_back(Fmt(r.throughput_tok_s, 1));
+    }
+    table.AddRow(row);
+  }
+  table.Print("LIP policy refinement: RAG throughput (tok/s) vs pinned hot "
+              "documents (pin_top_k)");
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  std::printf("bench_kv_policy: application-managed KV retention (paper 2.1)\n");
+  symphony::ChatExperiment();
+  symphony::PinAblation();
+  return 0;
+}

@@ -1,0 +1,60 @@
+// Shared helpers for Symphony's benchmark harnesses: simple aligned table
+// printing so every bench binary emits paper-style rows.
+#ifndef BENCH_BENCH_UTIL_H_
+#define BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+namespace symphony {
+
+class BenchTable {
+ public:
+  explicit BenchTable(std::vector<std::string> columns)
+      : columns_(std::move(columns)) {}
+
+  void AddRow(std::vector<std::string> cells) { rows_.push_back(std::move(cells)); }
+
+  void Print(const std::string& title) const {
+    std::printf("\n=== %s ===\n", title.c_str());
+    std::vector<size_t> widths(columns_.size(), 0);
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      widths[c] = columns_[c].size();
+    }
+    for (const std::vector<std::string>& row : rows_) {
+      for (size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+        widths[c] = std::max(widths[c], row[c].size());
+      }
+    }
+    auto print_row = [&](const std::vector<std::string>& cells) {
+      for (size_t c = 0; c < cells.size(); ++c) {
+        std::printf("%-*s  ", static_cast<int>(widths[c]), cells[c].c_str());
+      }
+      std::printf("\n");
+    };
+    print_row(columns_);
+    std::string rule;
+    for (size_t c = 0; c < columns_.size(); ++c) {
+      rule += std::string(widths[c], '-') + "  ";
+    }
+    std::printf("%s\n", rule.c_str());
+    for (const std::vector<std::string>& row : rows_) {
+      print_row(row);
+    }
+  }
+
+ private:
+  std::vector<std::string> columns_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+inline std::string Fmt(double value, int precision = 2) {
+  char buffer[64];
+  std::snprintf(buffer, sizeof(buffer), "%.*f", precision, value);
+  return buffer;
+}
+
+}  // namespace symphony
+
+#endif  // BENCH_BENCH_UTIL_H_

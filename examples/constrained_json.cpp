@@ -1,0 +1,138 @@
+// Constrained decoding inside a LIP (paper §2.3, §4.1).
+//
+// Because pred returns the full next-token distribution, a LIP can integrate
+// any state machine into its generation loop. This example generates (1) a
+// syntactically valid JSON value using the incremental JsonMachine, and
+// (2) a string matching a phone-number regex using the DFA-backed
+// TokenConstraint — no serving-system support needed for either.
+//
+// Build & run:  ./build/examples/constrained_json
+#include <cstdio>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/decode/json_machine.h"
+#include "src/decode/regex.h"
+#include "src/serve/server.h"
+
+using namespace symphony;
+
+int main() {
+  Simulator sim;
+  SymphonyServer server(&sim, ServerOptions{});
+
+  std::string json_out;
+  std::string phone_out;
+
+  LipId lip = server.Launch("constrained", [&](LipContext& ctx) -> Task {
+    const Tokenizer& tokenizer = ctx.tokenizer();
+
+    // ---- JSON mode -----------------------------------------------------
+    {
+      KvHandle kv = *ctx.kv_tmp();
+      std::vector<TokenId> prompt = tokenizer.Encode("w77 w78 w79");
+      StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(kv, prompt);
+      if (!dists.ok()) {
+        co_return;
+      }
+      JsonMachine machine;
+      // JSON allows unlimited whitespace; mask it out (as production JSON
+      // modes do) so generation always makes structural progress.
+      auto allows = [&](TokenId tok) {
+        if (tok >= kFirstByteToken && tok < kFirstWordToken) {
+          char c = static_cast<char>(tok - kFirstByteToken);
+          if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+            return false;
+          }
+        }
+        return machine.AllowsToken(tokenizer, tok);
+      };
+      Distribution dist = dists->back();
+      for (int step = 0; step < 24 && !machine.Done(); ++step) {
+        TokenId t = dist.GreedyMasked(allows);
+        if (t == kUnkToken || t == kEosToken) {
+          break;
+        }
+        json_out += tokenizer.TokenToString(t);
+        machine.AdvanceToken(tokenizer, t);
+        StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+        if (!d.ok()) {
+          co_return;
+        }
+        dist = d->back();
+      }
+      // Token budget reached: close any open structures deterministically.
+      // Only a program can do this kind of repair — a prompt API could not.
+      for (int guard = 0; guard < 32 && !machine.Done(); ++guard) {
+        TokenId closer = kUnkToken;
+        for (TokenId tok = kFirstByteToken; tok < kFirstWordToken; ++tok) {
+          if (!machine.AllowsToken(tokenizer, tok)) {
+            continue;
+          }
+          JsonMachine probe = machine.Probe();
+          probe.AdvanceToken(tokenizer, tok);
+          if (probe.Done() || probe.Depth() < machine.Depth()) {
+            closer = tok;
+            break;
+          }
+        }
+        if (closer == kUnkToken) {
+          break;
+        }
+        json_out += tokenizer.TokenToString(closer);
+        machine.AdvanceToken(tokenizer, closer);
+        (void)co_await ctx.pred1(kv, closer);
+      }
+    }
+
+    // ---- Regex constraint ------------------------------------------------
+    {
+      StatusOr<std::unique_ptr<Dfa>> dfa = CompileRegex("\\(\\d{3}\\) \\d{3}-\\d{4}");
+      if (!dfa.ok()) {
+        co_return;
+      }
+      TokenConstraint constraint(dfa->get(), &tokenizer);
+      KvHandle kv = *ctx.kv_tmp();
+      std::vector<TokenId> prompt = tokenizer.Encode("w88 w89");
+      StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(kv, prompt);
+      if (!dists.ok()) {
+        co_return;
+      }
+      Dfa::StateId state = constraint.start();
+      Distribution dist = dists->back();
+      for (int step = 0; step < 32; ++step) {
+        TokenId t = dist.GreedyMasked(
+            [&](TokenId tok) { return constraint.Allows(state, tok); });
+        if (t == kUnkToken || t == kEosToken) {
+          break;
+        }
+        phone_out += tokenizer.TokenToString(t);
+        state = constraint.Advance(state, t);
+        StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+        if (!d.ok()) {
+          co_return;
+        }
+        dist = d->back();
+        if (constraint.IsAccept(state)) {
+          break;
+        }
+      }
+    }
+    co_return;
+  });
+  (void)lip;
+
+  sim.Run();
+
+  JsonMachine validator;
+  bool json_valid = validator.FeedAll(json_out) && validator.Done();
+  std::printf("JSON mode output:   %s\n", json_out.c_str());
+  std::printf("  -> %s\n", json_valid ? "valid JSON" : "INVALID JSON (bug!)");
+
+  std::unique_ptr<Dfa> dfa = *CompileRegex("\\(\\d{3}\\) \\d{3}-\\d{4}");
+  std::printf("regex-constrained:  %s\n", phone_out.c_str());
+  std::printf("  -> %s\n", dfa->Matches(phone_out) ? "matches (ddd) ddd-dddd"
+                                                   : "NO MATCH (bug!)");
+  return 0;
+}

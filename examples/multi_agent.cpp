@@ -1,0 +1,131 @@
+// Cooperative multi-agent system over server-side IPC (paper §2.2, §4.3).
+//
+// Three LIPs form a pipeline living entirely inside Symphony:
+//   researcher  — fetches documents with the search tool and broadcasts
+//                 summaries on the "notes" channel;
+//   critic      — scores each note with the model's own log-probabilities
+//                 and forwards accepted ones on "approved";
+//   writer      — folds approved notes into its KV context and generates the
+//                 final answer.
+// Inter-agent communication is ctx.send/ctx.recv — no client in the loop.
+//
+// Build & run:  ./build/examples/multi_agent
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "src/serve/server.h"
+
+using namespace symphony;
+
+namespace {
+constexpr int kNotes = 4;
+}
+
+int main() {
+  Simulator sim;
+  SymphonyServer server(&sim, ServerOptions{});
+  (void)server.tools().Register(ToolRegistry::Lookup("search", Millis(60)));
+
+  // --- Researcher -----------------------------------------------------
+  server.Launch("researcher", [&](LipContext& ctx) -> Task {
+    for (int i = 0; i < kNotes; ++i) {
+      StatusOr<std::string> doc =
+          co_await ctx.call_tool("search", "subtopic-" + std::to_string(i));
+      if (!doc.ok()) {
+        ctx.send("notes", "ERROR");
+        continue;
+      }
+      ctx.send("notes", *doc);
+      ctx.emit("[researcher] sent note " + std::to_string(i) + "\n");
+    }
+    co_return;
+  });
+
+  // --- Critic -----------------------------------------------------------
+  server.Launch("critic", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    (void)co_await ctx.pred(kv, ctx.tokenizer().Encode("w500 w501"));
+    std::vector<std::pair<double, std::string>> scored;
+    for (int i = 0; i < kNotes; ++i) {
+      std::string note = co_await ctx.recv("notes");
+      std::vector<TokenId> tokens = ctx.tokenizer().Encode(note);
+      if (tokens.size() > 8) {
+        tokens.resize(8);
+      }
+      // Score the note by the model's log-probability of its tokens given
+      // the critic's context: a crude "relevance" judge.
+      StatusOr<KvHandle> probe = ctx.kv_fork(kv);
+      if (!probe.ok()) {
+        continue;
+      }
+      StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(*probe, tokens);
+      (void)ctx.kv_close(*probe);
+      if (!dists.ok()) {
+        continue;
+      }
+      double score = 0.0;
+      for (size_t j = 1; j < tokens.size(); ++j) {
+        score += (*dists)[j - 1].LogProb(tokens[j]);
+      }
+      score /= static_cast<double>(tokens.size());
+      ctx.emit("[critic] note " + std::to_string(i) + " score " +
+               std::to_string(score) + "\n");
+      scored.emplace_back(score, std::move(note));
+    }
+    // Approve the most-plausible half.
+    std::sort(scored.begin(), scored.end(),
+              [](const auto& a, const auto& b) { return a.first > b.first; });
+    size_t keep = scored.size() / 2;
+    ctx.send("approved_count", std::to_string(keep));
+    for (size_t i = 0; i < keep; ++i) {
+      ctx.send("approved", scored[i].second);
+    }
+    co_return;
+  });
+
+  // --- Writer -------------------------------------------------------------
+  LipId writer = server.Launch("writer", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    (void)co_await ctx.pred(kv, ctx.tokenizer().Encode("w600 w601 w602"));
+    int expected = std::stoi(co_await ctx.recv("approved_count"));
+    for (int i = 0; i < expected; ++i) {
+      std::string note = co_await ctx.recv("approved");
+      std::vector<TokenId> tokens = ctx.tokenizer().Encode(note);
+      if (tokens.size() > 8) {
+        tokens.resize(8);
+      }
+      (void)co_await ctx.pred(kv, tokens);
+    }
+    // Generate the final answer over the merged context.
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, 260);
+    if (!d.ok()) {
+      co_return;
+    }
+    std::string answer;
+    TokenId t = d->back().Argmax();
+    for (int step = 0; step < 16 && t != kEosToken; ++step) {
+      answer += ctx.tokenizer().TokenToString(t) + " ";
+      StatusOr<std::vector<Distribution>> next = co_await ctx.pred1(kv, t);
+      if (!next.ok()) {
+        break;
+      }
+      t = next->back().Argmax();
+    }
+    ctx.emit("[writer] context " + std::to_string(*ctx.kv_len(kv)) +
+             " tokens, answer: " + answer + "\n");
+    co_return;
+  });
+
+  sim.Run();
+
+  // Interleave the agents' logs in launch order.
+  for (LipId lip = 2; lip <= writer; ++lip) {
+    std::printf("%s", server.runtime().Output(lip).c_str());
+  }
+  std::printf("\nIPC messages exchanged: %lu, virtual time: %.1f ms\n",
+              static_cast<unsigned long>(server.runtime().stats().ipc_messages),
+              ToMillis(sim.now()));
+  return 0;
+}

@@ -1,0 +1,43 @@
+// Hashing utilities.
+//
+// Symphony's deterministic pseudo-LLM represents Transformer hidden state as a
+// rolling context hash: state(t) = Mix(state(t-1), token_id, position). Two
+// token sequences share KV state exactly when they share a prefix — the same
+// contract a causal Transformer's KV cache obeys. These helpers must therefore
+// be stable across platforms and runs.
+#ifndef SRC_COMMON_HASH_H_
+#define SRC_COMMON_HASH_H_
+
+#include <cstdint>
+#include <string_view>
+
+namespace symphony {
+
+// Stateless 64-bit finalizer (murmur3 fmix64).
+inline uint64_t Mix64(uint64_t x) {
+  x ^= x >> 33;
+  x *= 0xff51afd7ed558ccdULL;
+  x ^= x >> 33;
+  x *= 0xc4ceb9fe1a85ec53ULL;
+  x ^= x >> 33;
+  return x;
+}
+
+// Order-sensitive combiner (boost-style, 64-bit constants).
+inline uint64_t HashCombine(uint64_t seed, uint64_t value) {
+  return seed ^ (Mix64(value) + 0x9e3779b97f4a7c15ULL + (seed << 12) + (seed >> 4));
+}
+
+// FNV-1a over bytes; used for stable string keys (KVFS paths, tool names).
+inline uint64_t Fnv1a(std::string_view bytes) {
+  uint64_t h = 0xcbf29ce484222325ULL;
+  for (unsigned char c : bytes) {
+    h ^= c;
+    h *= 0x100000001b3ULL;
+  }
+  return h;
+}
+
+}  // namespace symphony
+
+#endif  // SRC_COMMON_HASH_H_

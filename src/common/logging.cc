@@ -1,0 +1,46 @@
+#include "src/common/logging.h"
+
+#include <cstdio>
+
+namespace symphony {
+
+std::string_view LogLevelName(LogLevel level) {
+  switch (level) {
+    case LogLevel::kDebug:
+      return "DEBUG";
+    case LogLevel::kInfo:
+      return "INFO";
+    case LogLevel::kWarning:
+      return "WARN";
+    case LogLevel::kError:
+      return "ERROR";
+  }
+  return "?";
+}
+
+LogLevel LogConfig::level_ = LogLevel::kWarning;
+LogConfig::Sink LogConfig::sink_ = nullptr;
+
+void LogConfig::set_sink(Sink sink) { sink_ = std::move(sink); }
+
+void LogConfig::Emit(LogLevel level, const std::string& message) {
+  if (sink_) {
+    sink_(level, message);
+    return;
+  }
+  std::fprintf(stderr, "[%.*s] %s\n", static_cast<int>(LogLevelName(level).size()),
+               LogLevelName(level).data(), message.c_str());
+}
+
+LogMessage::LogMessage(LogLevel level, const char* file, int line) : level_(level) {
+  std::string_view path(file);
+  size_t slash = path.find_last_of('/');
+  if (slash != std::string_view::npos) {
+    path.remove_prefix(slash + 1);
+  }
+  stream_ << path << ":" << line << " ";
+}
+
+LogMessage::~LogMessage() { LogConfig::Emit(level_, stream_.str()); }
+
+}  // namespace symphony

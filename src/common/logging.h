@@ -1,0 +1,62 @@
+// Minimal leveled logging.
+//
+// Symphony components log through SYMPHONY_LOG(level) streams. The sink is a
+// process-global function pointer so tests can capture output; the default
+// sink writes to stderr. Logging below the active level compiles to a cheap
+// branch around stream construction.
+#ifndef SRC_COMMON_LOGGING_H_
+#define SRC_COMMON_LOGGING_H_
+
+#include <functional>
+#include <sstream>
+#include <string>
+#include <string_view>
+
+namespace symphony {
+
+enum class LogLevel { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3 };
+
+std::string_view LogLevelName(LogLevel level);
+
+// Global log configuration. Not thread-safe by design: Symphony's simulation
+// core is single-threaded; configure logging before running a simulation.
+class LogConfig {
+ public:
+  using Sink = std::function<void(LogLevel, const std::string&)>;
+
+  static LogLevel active_level() { return level_; }
+  static void set_level(LogLevel new_level) { level_ = new_level; }
+
+  // Replaces the sink; pass nullptr to restore the default stderr sink.
+  static void set_sink(Sink sink);
+  static void Emit(LogLevel level, const std::string& message);
+
+ private:
+  static LogLevel level_;
+  static Sink sink_;
+};
+
+// RAII stream that emits one log record on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogLevel level, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace symphony
+
+#define SYMPHONY_LOG(level)                                                     \
+  if (::symphony::LogLevel::level < ::symphony::LogConfig::active_level()) {    \
+  } else                                                                        \
+    ::symphony::LogMessage(::symphony::LogLevel::level, __FILE__, __LINE__).stream()
+
+#endif  // SRC_COMMON_LOGGING_H_

@@ -1,0 +1,90 @@
+// Deterministic pseudo-random number generation for Symphony.
+//
+// Every stochastic component (workload arrivals, popularity draws, sampling
+// temperatures) consumes a Rng seeded explicitly, so simulations replay
+// bit-identically. The core generator is xoshiro256++, seeded via splitmix64.
+#ifndef SRC_COMMON_RNG_H_
+#define SRC_COMMON_RNG_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace symphony {
+
+// splitmix64: used for seeding and as a cheap stateless mixer.
+inline uint64_t SplitMix64(uint64_t& state) {
+  state += 0x9e3779b97f4a7c15ULL;
+  uint64_t z = state;
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  return z ^ (z >> 31);
+}
+
+// xoshiro256++ by Blackman & Vigna. Fast, high-quality, 2^256-1 period.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) {
+    uint64_t sm = seed;
+    for (uint64_t& word : s_) {
+      word = SplitMix64(sm);
+    }
+  }
+
+  // Uniform 64-bit draw.
+  uint64_t NextU64() {
+    const uint64_t result = Rotl(s_[0] + s_[3], 23) + s_[0];
+    const uint64_t t = s_[1] << 17;
+    s_[2] ^= s_[0];
+    s_[3] ^= s_[1];
+    s_[1] ^= s_[2];
+    s_[0] ^= s_[3];
+    s_[2] ^= t;
+    s_[3] = Rotl(s_[3], 45);
+    return result;
+  }
+
+  // Uniform in [0, bound). bound must be > 0. Uses Lemire's method.
+  uint64_t NextBounded(uint64_t bound) {
+    // Rejection-free multiply-shift; bias is negligible for bound << 2^64 and
+    // acceptable for simulation purposes.
+    unsigned __int128 m = static_cast<unsigned __int128>(NextU64()) * bound;
+    return static_cast<uint64_t>(m >> 64);
+  }
+
+  // Uniform double in [0, 1).
+  double NextDouble() {
+    return static_cast<double>(NextU64() >> 11) * 0x1.0p-53;
+  }
+
+  // Uniform double in (0, 1] — safe as a log() argument.
+  double NextDoubleOpenLeft() {
+    return (static_cast<double>(NextU64() >> 11) + 1.0) * 0x1.0p-53;
+  }
+
+  // Exponentially distributed with the given rate (events per unit time).
+  double NextExponential(double rate) {
+    return -std::log(NextDoubleOpenLeft()) / rate;
+  }
+
+  // Standard normal via Box-Muller (single value; the pair's twin discarded).
+  double NextGaussian() {
+    double u1 = NextDoubleOpenLeft();
+    double u2 = NextDouble();
+    return std::sqrt(-2.0 * std::log(u1)) * std::cos(2.0 * M_PI * u2);
+  }
+
+  // Pareto(alpha, x_min): heavy-tailed popularity / size distribution.
+  double NextPareto(double alpha, double x_min) {
+    return x_min / std::pow(NextDoubleOpenLeft(), 1.0 / alpha);
+  }
+
+ private:
+  static uint64_t Rotl(uint64_t x, int k) { return (x << k) | (x >> (64 - k)); }
+
+  uint64_t s_[4];
+};
+
+}  // namespace symphony
+
+#endif  // SRC_COMMON_RNG_H_

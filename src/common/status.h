@@ -1,0 +1,146 @@
+// Lightweight Status / StatusOr error-handling vocabulary for Symphony.
+//
+// Symphony is exception-free by policy: fallible operations return Status or
+// StatusOr<T>. Status carries a coarse code plus a human-readable message so
+// system-call failures surface to LIPs the way errno does to POSIX programs.
+#ifndef SRC_COMMON_STATUS_H_
+#define SRC_COMMON_STATUS_H_
+
+#include <cassert>
+#include <optional>
+#include <ostream>
+#include <string>
+#include <string_view>
+#include <utility>
+
+namespace symphony {
+
+// Error categories, deliberately close to POSIX errno semantics since KVFS
+// and the LIP system-call surface mimic a file system / kernel boundary.
+enum class StatusCode {
+  kOk = 0,
+  kNotFound,          // ENOENT: no such KV file / process / tool.
+  kAlreadyExists,     // EEXIST: create on an existing path without O_TRUNC.
+  kPermissionDenied,  // EACCES: KVFS ACL rejected the operation.
+  kInvalidArgument,   // EINVAL: malformed request (bad positions, empty batch).
+  kResourceExhausted, // ENOMEM/ENOSPC: page pool or budget exhausted.
+  kFailedPrecondition,// EBUSY-like: lock held, file still open, wrong state.
+  kOutOfRange,        // position or token index beyond file length.
+  kUnavailable,       // transient: retryable (device draining, queue full).
+  kQuotaExceeded,     // EDQUOT: per-LIP resource quota hit (not retryable).
+  kInternal,          // invariant violation; indicates a Symphony bug.
+};
+
+// Returns a stable identifier such as "NOT_FOUND" for logs and test output.
+std::string_view StatusCodeName(StatusCode code);
+
+// Value type describing the result of a fallible operation.
+class [[nodiscard]] Status {
+ public:
+  // Default-constructed Status is OK.
+  Status() : code_(StatusCode::kOk) {}
+  Status(StatusCode code, std::string message)
+      : code_(code), message_(std::move(message)) {}
+
+  static Status Ok() { return Status(); }
+
+  bool ok() const { return code_ == StatusCode::kOk; }
+  StatusCode code() const { return code_; }
+  const std::string& message() const { return message_; }
+
+  // Renders "OK" or "NOT_FOUND: no such file: /kv/doc_17".
+  std::string ToString() const;
+
+  bool operator==(const Status& other) const {
+    return code_ == other.code_ && message_ == other.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+inline std::ostream& operator<<(std::ostream& os, const Status& s) {
+  return os << s.ToString();
+}
+
+// Convenience constructors, mirroring absl::*Error.
+Status NotFoundError(std::string message);
+Status AlreadyExistsError(std::string message);
+Status PermissionDeniedError(std::string message);
+Status InvalidArgumentError(std::string message);
+Status ResourceExhaustedError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status OutOfRangeError(std::string message);
+Status UnavailableError(std::string message);
+Status QuotaExceededError(std::string message);
+Status InternalError(std::string message);
+
+// StatusOr<T>: either an OK status with a value, or a non-OK status.
+template <typename T>
+class [[nodiscard]] StatusOr {
+ public:
+  // Implicit conversions keep call sites terse: `return value;` or
+  // `return NotFoundError(...)`.
+  StatusOr(Status status) : status_(std::move(status)) {
+    assert(!status_.ok() && "StatusOr constructed from OK status without value");
+  }
+  StatusOr(T value) : status_(Status::Ok()), value_(std::move(value)) {}
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  const T& value() const& {
+    assert(ok());
+    return *value_;
+  }
+  T& value() & {
+    assert(ok());
+    return *value_;
+  }
+  T&& value() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  T&& operator*() && {
+    assert(ok());
+    return *std::move(value_);
+  }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+  // Returns the value or `fallback` when non-OK.
+  T value_or(T fallback) const& { return ok() ? *value_ : std::move(fallback); }
+
+ private:
+  Status status_;
+  std::optional<T> value_;
+};
+
+}  // namespace symphony
+
+// Propagates a non-OK Status from an expression, like absl's RETURN_IF_ERROR.
+#define SYMPHONY_RETURN_IF_ERROR(expr)            \
+  do {                                            \
+    ::symphony::Status _st = (expr);              \
+    if (!_st.ok()) {                              \
+      return _st;                                 \
+    }                                             \
+  } while (0)
+
+// Evaluates a StatusOr expression, assigning the value or propagating error.
+#define SYMPHONY_CONCAT_INNER_(a, b) a##b
+#define SYMPHONY_CONCAT_(a, b) SYMPHONY_CONCAT_INNER_(a, b)
+#define SYMPHONY_ASSIGN_OR_RETURN_IMPL_(tmp, lhs, expr) \
+  auto tmp = (expr);                                    \
+  if (!tmp.ok()) {                                      \
+    return tmp.status();                                \
+  }                                                     \
+  lhs = std::move(tmp).value()
+#define SYMPHONY_ASSIGN_OR_RETURN(lhs, expr) \
+  SYMPHONY_ASSIGN_OR_RETURN_IMPL_(SYMPHONY_CONCAT_(_sor_, __LINE__), lhs, expr)
+
+#endif  // SRC_COMMON_STATUS_H_

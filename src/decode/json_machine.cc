@@ -1,0 +1,383 @@
+#include "src/decode/json_machine.h"
+
+#include <cctype>
+#include <cstring>
+
+namespace symphony {
+
+namespace {
+
+bool IsJsonWs(char c) { return c == ' ' || c == '\t' || c == '\n' || c == '\r'; }
+bool IsDigit(char c) { return c >= '0' && c <= '9'; }
+
+}  // namespace
+
+void JsonMachine::Reset() {
+  dead_ = false;
+  stack_.clear();
+  stack_.push_back(Ctx::kValue);
+  in_escape_ = false;
+  hex_remaining_ = 0;
+  literal_ = nullptr;
+  literal_pos_ = 0;
+  num_ = Num::kStart;
+}
+
+void JsonMachine::ValueDone() {
+  // Stack top (if any) is the parent continuation (kObjectNext/kArrayNext)
+  // left in place when the value context was pushed; nothing to do here —
+  // the parent handles the next delimiter itself.
+}
+
+bool JsonMachine::FeedNumber(char c) {
+  switch (num_) {
+    case Num::kStart:
+      if (c == '0') {
+        num_ = Num::kZero;
+        return true;
+      }
+      if (IsDigit(c)) {
+        num_ = Num::kInt;
+        return true;
+      }
+      return false;
+    case Num::kZero:
+      if (c == '.') {
+        num_ = Num::kFracDot;
+        return true;
+      }
+      if (c == 'e' || c == 'E') {
+        num_ = Num::kExpStart;
+        return true;
+      }
+      return false;
+    case Num::kInt:
+      if (IsDigit(c)) {
+        return true;
+      }
+      if (c == '.') {
+        num_ = Num::kFracDot;
+        return true;
+      }
+      if (c == 'e' || c == 'E') {
+        num_ = Num::kExpStart;
+        return true;
+      }
+      return false;
+    case Num::kFracDot:
+      if (IsDigit(c)) {
+        num_ = Num::kFrac;
+        return true;
+      }
+      return false;
+    case Num::kFrac:
+      if (IsDigit(c)) {
+        return true;
+      }
+      if (c == 'e' || c == 'E') {
+        num_ = Num::kExpStart;
+        return true;
+      }
+      return false;
+    case Num::kExpStart:
+      if (c == '+' || c == '-') {
+        num_ = Num::kExpSign;
+        return true;
+      }
+      if (IsDigit(c)) {
+        num_ = Num::kExpDigits;
+        return true;
+      }
+      return false;
+    case Num::kExpSign:
+      if (IsDigit(c)) {
+        num_ = Num::kExpDigits;
+        return true;
+      }
+      return false;
+    case Num::kExpDigits:
+      return IsDigit(c);
+  }
+  return false;
+}
+
+bool JsonMachine::Feed(char c) {
+  if (dead_) {
+    return false;
+  }
+  if (stack_.empty()) {
+    if (IsJsonWs(c)) {
+      return true;
+    }
+    Die();
+    return false;
+  }
+
+  Ctx top = stack_.back();
+  switch (top) {
+    case Ctx::kValue: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      stack_.pop_back();
+      switch (c) {
+        case '{':
+          stack_.push_back(Ctx::kObjectFirst);
+          return true;
+        case '[':
+          stack_.push_back(Ctx::kArrayFirst);
+          return true;
+        case '"':
+          stack_.push_back(Ctx::kString);
+          in_escape_ = false;
+          hex_remaining_ = 0;
+          return true;
+        case 't':
+          literal_ = "true";
+          literal_pos_ = 1;
+          stack_.push_back(Ctx::kLiteral);
+          return true;
+        case 'f':
+          literal_ = "false";
+          literal_pos_ = 1;
+          stack_.push_back(Ctx::kLiteral);
+          return true;
+        case 'n':
+          literal_ = "null";
+          literal_pos_ = 1;
+          stack_.push_back(Ctx::kLiteral);
+          return true;
+        case '-':
+          num_ = Num::kStart;
+          stack_.push_back(Ctx::kNumber);
+          return true;
+        default:
+          if (IsDigit(c)) {
+            num_ = Num::kStart;
+            stack_.push_back(Ctx::kNumber);
+            return FeedNumber(c) ? true : (Die(), false);
+          }
+          Die();
+          return false;
+      }
+    }
+
+    case Ctx::kObjectFirst: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == '}') {
+        stack_.pop_back();
+        ValueDone();
+        return true;
+      }
+      if (c == '"') {
+        stack_.back() = Ctx::kObjectColon;
+        stack_.push_back(Ctx::kKeyString);
+        in_escape_ = false;
+        hex_remaining_ = 0;
+        return true;
+      }
+      Die();
+      return false;
+    }
+
+    case Ctx::kObjectKey: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == '"') {
+        stack_.back() = Ctx::kObjectColon;
+        stack_.push_back(Ctx::kKeyString);
+        in_escape_ = false;
+        hex_remaining_ = 0;
+        return true;
+      }
+      Die();
+      return false;
+    }
+
+    case Ctx::kObjectColon: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == ':') {
+        stack_.back() = Ctx::kObjectNext;
+        stack_.push_back(Ctx::kValue);
+        return true;
+      }
+      Die();
+      return false;
+    }
+
+    case Ctx::kObjectNext: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == ',') {
+        stack_.back() = Ctx::kObjectKey;
+        return true;
+      }
+      if (c == '}') {
+        stack_.pop_back();
+        ValueDone();
+        return true;
+      }
+      Die();
+      return false;
+    }
+
+    case Ctx::kArrayFirst: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == ']') {
+        stack_.pop_back();
+        ValueDone();
+        return true;
+      }
+      stack_.back() = Ctx::kArrayNext;
+      stack_.push_back(Ctx::kValue);
+      return Feed(c);  // Re-dispatch as the start of a value.
+    }
+
+    case Ctx::kArrayNext: {
+      if (IsJsonWs(c)) {
+        return true;
+      }
+      if (c == ',') {
+        stack_.push_back(Ctx::kValue);
+        return true;
+      }
+      if (c == ']') {
+        stack_.pop_back();
+        ValueDone();
+        return true;
+      }
+      Die();
+      return false;
+    }
+
+    case Ctx::kString:
+    case Ctx::kKeyString: {
+      if (hex_remaining_ > 0) {
+        if (std::isxdigit(static_cast<unsigned char>(c))) {
+          --hex_remaining_;
+          return true;
+        }
+        Die();
+        return false;
+      }
+      if (in_escape_) {
+        in_escape_ = false;
+        switch (c) {
+          case '"':
+          case '\\':
+          case '/':
+          case 'b':
+          case 'f':
+          case 'n':
+          case 'r':
+          case 't':
+            return true;
+          case 'u':
+            hex_remaining_ = 4;
+            return true;
+          default:
+            Die();
+            return false;
+        }
+      }
+      if (c == '\\') {
+        in_escape_ = true;
+        return true;
+      }
+      if (c == '"') {
+        stack_.pop_back();
+        if (top == Ctx::kString) {
+          ValueDone();
+        }
+        return true;
+      }
+      // Control characters are invalid inside strings.
+      if (static_cast<unsigned char>(c) < 0x20) {
+        Die();
+        return false;
+      }
+      return true;
+    }
+
+    case Ctx::kNumber: {
+      if (FeedNumber(c)) {
+        return true;
+      }
+      // The char does not extend the number; if the number is complete,
+      // close it and re-dispatch into the parent context.
+      if (!NumberIsValid()) {
+        Die();
+        return false;
+      }
+      stack_.pop_back();
+      ValueDone();
+      return Feed(c);
+    }
+
+    case Ctx::kLiteral: {
+      if (literal_ != nullptr && literal_pos_ < std::strlen(literal_) &&
+          c == literal_[literal_pos_]) {
+        ++literal_pos_;
+        if (literal_pos_ == std::strlen(literal_)) {
+          stack_.pop_back();
+          ValueDone();
+        }
+        return true;
+      }
+      Die();
+      return false;
+    }
+  }
+  Die();
+  return false;
+}
+
+bool JsonMachine::FeedAll(std::string_view text) {
+  for (char c : text) {
+    if (!Feed(c)) {
+      return false;
+    }
+  }
+  return true;
+}
+
+bool JsonMachine::Done() const {
+  if (dead_) {
+    return false;
+  }
+  if (stack_.empty()) {
+    return true;
+  }
+  // A top-level number can be complete while still extensible.
+  return stack_.size() == 1 && stack_.back() == Ctx::kNumber && NumberIsValid();
+}
+
+bool JsonMachine::AllowsToken(const Tokenizer& tokenizer, TokenId token) const {
+  if (token == kEosToken) {
+    return Done();
+  }
+  if (token == kPadToken || token == kBosToken || token == kUnkToken) {
+    return false;
+  }
+  if (token < 0 || static_cast<uint32_t>(token) >= tokenizer.vocab_size()) {
+    return false;
+  }
+  return CanFeed(tokenizer.TokenToString(token));
+}
+
+void JsonMachine::AdvanceToken(const Tokenizer& tokenizer, TokenId token) {
+  if (token == kEosToken) {
+    return;
+  }
+  FeedAll(tokenizer.TokenToString(token));
+}
+
+}  // namespace symphony

@@ -1,0 +1,108 @@
+// Incremental JSON validator for JSON-mode constrained decoding.
+//
+// A pushdown acceptor over bytes: Feed() consumes one character and reports
+// whether the prefix can still extend to a valid JSON value; Done() reports
+// whether the input so far IS a complete value. Unlike the regex engine this
+// handles arbitrary nesting, which a DFA cannot.
+//
+// A LIP uses it exactly like TokenConstraint: mask the distribution to tokens
+// whose text keeps the machine alive, and allow EOS only when Done().
+#ifndef SRC_DECODE_JSON_MACHINE_H_
+#define SRC_DECODE_JSON_MACHINE_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "src/model/tokenizer.h"
+
+namespace symphony {
+
+class JsonMachine {
+ public:
+  JsonMachine() { Reset(); }
+
+  void Reset();
+
+  // Consumes one byte. Returns false (and enters the dead state) if no valid
+  // JSON document can start with the consumed prefix.
+  bool Feed(char c);
+
+  // Consumes a string; stops at the first rejection.
+  bool FeedAll(std::string_view text);
+
+  // True when the consumed prefix is a complete JSON value (trailing
+  // whitespace allowed).
+  bool Done() const;
+
+  bool dead() const { return dead_; }
+
+  // Number of open syntactic contexts (strings, objects, arrays, ...).
+  // Useful for "close as soon as possible" generation policies.
+  size_t Depth() const { return stack_.size(); }
+
+  // Copyable snapshot semantics let callers probe "what if" cheaply.
+  JsonMachine Probe() const { return *this; }
+
+  // Convenience: true if `text` could extend the current prefix.
+  bool CanFeed(std::string_view text) const {
+    JsonMachine probe = *this;
+    return probe.FeedAll(text);
+  }
+
+  // Token-level helpers mirroring TokenConstraint.
+  bool AllowsToken(const Tokenizer& tokenizer, TokenId token) const;
+  void AdvanceToken(const Tokenizer& tokenizer, TokenId token);
+
+ private:
+  // The acceptor is a state machine over "contexts" kept in a stack.
+  enum class Ctx : uint8_t {
+    kValue,        // Expecting the start of a value.
+    kObjectFirst,  // After '{': key string or '}'.
+    kObjectKey,    // After ',' in an object: key string.
+    kObjectColon,  // After a key: expecting ':'.
+    kObjectNext,   // After a member value: ',' or '}'.
+    kArrayFirst,   // After '[': value or ']'.
+    kArrayNext,    // After an element: ',' or ']'.
+    kString,       // Inside a value string.
+    kKeyString,    // Inside an object key string.
+    kNumber,       // Inside a number.
+    kLiteral,      // Inside true/false/null.
+  };
+
+  // Called when a value has completed and its context has been popped.
+  void ValueDone();
+  void Die() { dead_ = true; }
+
+  bool dead_ = false;
+  std::vector<Ctx> stack_;
+  // String escape handling (applies to kString/kKeyString).
+  bool in_escape_ = false;
+  int hex_remaining_ = 0;
+  // kLiteral progress ("true", "false", "null").
+  const char* literal_ = nullptr;
+  size_t literal_pos_ = 0;
+  // kNumber sub-state.
+  enum class Num : uint8_t {
+    kStart,      // Nothing or '-' consumed.
+    kZero,       // Leading zero: next must be '.', 'e', or a delimiter.
+    kInt,        // In integer digits.
+    kFracDot,    // Just consumed '.', need a digit.
+    kFrac,       // In fraction digits.
+    kExpStart,   // Just consumed 'e'/'E', need sign or digit.
+    kExpSign,    // Consumed exponent sign, need a digit.
+    kExpDigits,  // In exponent digits.
+  };
+  Num num_ = Num::kStart;
+
+  bool NumberIsValid() const {
+    return num_ == Num::kZero || num_ == Num::kInt || num_ == Num::kFrac ||
+           num_ == Num::kExpDigits;
+  }
+  // Tries to extend the number with c; returns false if c cannot extend it.
+  bool FeedNumber(char c);
+};
+
+}  // namespace symphony
+
+#endif  // SRC_DECODE_JSON_MACHINE_H_

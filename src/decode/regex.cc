@@ -1,0 +1,547 @@
+#include "src/decode/regex.h"
+
+#include <algorithm>
+#include <cassert>
+#include <deque>
+#include <map>
+
+namespace symphony {
+
+namespace {
+
+// ---------------------------------------------------------------------------
+// NFA (Thompson construction)
+// ---------------------------------------------------------------------------
+
+struct NfaState {
+  // Character transitions.
+  std::vector<std::pair<CharSet, int>> edges;
+  // Epsilon transitions.
+  std::vector<int> eps;
+};
+
+struct Fragment {
+  int start = -1;
+  int accept = -1;  // Single accept per fragment by construction.
+};
+
+class NfaBuilder {
+ public:
+  int NewState() {
+    states_.emplace_back();
+    return static_cast<int>(states_.size()) - 1;
+  }
+
+  void AddEdge(int from, const CharSet& chars, int to) {
+    states_[from].edges.emplace_back(chars, to);
+  }
+  void AddEps(int from, int to) { states_[from].eps.push_back(to); }
+
+  Fragment Empty() {
+    Fragment f{NewState(), NewState()};
+    AddEps(f.start, f.accept);
+    return f;
+  }
+
+  Fragment Chars(const CharSet& set) {
+    Fragment f{NewState(), NewState()};
+    AddEdge(f.start, set, f.accept);
+    return f;
+  }
+
+  Fragment Concat(Fragment a, Fragment b) {
+    AddEps(a.accept, b.start);
+    return Fragment{a.start, b.accept};
+  }
+
+  Fragment Alternate(Fragment a, Fragment b) {
+    Fragment f{NewState(), NewState()};
+    AddEps(f.start, a.start);
+    AddEps(f.start, b.start);
+    AddEps(a.accept, f.accept);
+    AddEps(b.accept, f.accept);
+    return f;
+  }
+
+  Fragment Star(Fragment a) {
+    Fragment f{NewState(), NewState()};
+    AddEps(f.start, a.start);
+    AddEps(f.start, f.accept);
+    AddEps(a.accept, a.start);
+    AddEps(a.accept, f.accept);
+    return f;
+  }
+
+  Fragment Plus(Fragment a) {
+    Fragment f{NewState(), NewState()};
+    AddEps(f.start, a.start);
+    AddEps(a.accept, a.start);
+    AddEps(a.accept, f.accept);
+    return f;
+  }
+
+  Fragment Optional(Fragment a) {
+    Fragment f{NewState(), NewState()};
+    AddEps(f.start, a.start);
+    AddEps(f.start, f.accept);
+    AddEps(a.accept, f.accept);
+    return f;
+  }
+
+  // Deep-copies a fragment (needed for {m,n} expansion).
+  Fragment Clone(Fragment src) {
+    std::map<int, int> mapping;
+    std::deque<int> pending = {src.start};
+    mapping[src.start] = NewState();
+    while (!pending.empty()) {
+      int old_id = pending.front();
+      pending.pop_front();
+      // Copy the state's edge lists (note: NewState may reallocate states_,
+      // so read a copy).
+      NfaState state_copy = states_[old_id];
+      for (const auto& [chars, to] : state_copy.edges) {
+        if (mapping.find(to) == mapping.end()) {
+          mapping[to] = NewState();
+          pending.push_back(to);
+        }
+        AddEdge(mapping[old_id], chars, mapping[to]);
+      }
+      for (int to : state_copy.eps) {
+        if (mapping.find(to) == mapping.end()) {
+          mapping[to] = NewState();
+          pending.push_back(to);
+        }
+        AddEps(mapping[old_id], mapping[to]);
+      }
+    }
+    // The accept state may be unreachable in degenerate fragments; map it.
+    if (mapping.find(src.accept) == mapping.end()) {
+      mapping[src.accept] = NewState();
+    }
+    return Fragment{mapping[src.start], mapping[src.accept]};
+  }
+
+  const std::vector<NfaState>& states() const { return states_; }
+
+ private:
+  std::vector<NfaState> states_;
+};
+
+// ---------------------------------------------------------------------------
+// Parser
+// ---------------------------------------------------------------------------
+
+CharSet SingleChar(unsigned char c) {
+  CharSet set;
+  set.set(c);
+  return set;
+}
+
+CharSet RangeChars(unsigned char lo, unsigned char hi) {
+  CharSet set;
+  for (int c = lo; c <= hi; ++c) {
+    set.set(static_cast<size_t>(c));
+  }
+  return set;
+}
+
+CharSet DigitChars() { return RangeChars('0', '9'); }
+CharSet WordChars() {
+  CharSet set = RangeChars('a', 'z') | RangeChars('A', 'Z') | DigitChars();
+  set.set('_');
+  return set;
+}
+CharSet SpaceChars() {
+  CharSet set;
+  for (unsigned char c : {' ', '\t', '\n', '\r', '\f', '\v'}) {
+    set.set(c);
+  }
+  return set;
+}
+CharSet AnyChars() {
+  CharSet set;
+  set.set();
+  set.reset('\n');
+  return set;
+}
+
+class Parser {
+ public:
+  Parser(std::string_view pattern, NfaBuilder* nfa) : pattern_(pattern), nfa_(nfa) {}
+
+  StatusOr<Fragment> Parse() {
+    SYMPHONY_ASSIGN_OR_RETURN(Fragment f, ParseAlternation());
+    if (pos_ != pattern_.size()) {
+      return InvalidArgumentError("unexpected character at position " +
+                                  std::to_string(pos_));
+    }
+    return f;
+  }
+
+ private:
+  bool AtEnd() const { return pos_ >= pattern_.size(); }
+  char Peek() const { return pattern_[pos_]; }
+  char Take() { return pattern_[pos_++]; }
+
+  StatusOr<Fragment> ParseAlternation() {
+    SYMPHONY_ASSIGN_OR_RETURN(Fragment left, ParseConcat());
+    while (!AtEnd() && Peek() == '|') {
+      Take();
+      SYMPHONY_ASSIGN_OR_RETURN(Fragment right, ParseConcat());
+      left = nfa_->Alternate(left, right);
+    }
+    return left;
+  }
+
+  StatusOr<Fragment> ParseConcat() {
+    Fragment result = nfa_->Empty();
+    bool any = false;
+    while (!AtEnd() && Peek() != '|' && Peek() != ')') {
+      SYMPHONY_ASSIGN_OR_RETURN(Fragment piece, ParseRepeat());
+      result = any ? nfa_->Concat(result, piece) : piece;
+      any = true;
+    }
+    return result;
+  }
+
+  StatusOr<Fragment> ParseRepeat() {
+    SYMPHONY_ASSIGN_OR_RETURN(Fragment atom, ParseAtom());
+    for (;;) {
+      if (AtEnd()) {
+        return atom;
+      }
+      char c = Peek();
+      if (c == '*') {
+        Take();
+        atom = nfa_->Star(atom);
+      } else if (c == '+') {
+        Take();
+        atom = nfa_->Plus(atom);
+      } else if (c == '?') {
+        Take();
+        atom = nfa_->Optional(atom);
+      } else if (c == '{') {
+        SYMPHONY_ASSIGN_OR_RETURN(atom, ParseBound(atom));
+      } else {
+        return atom;
+      }
+    }
+  }
+
+  // {m} {m,} {m,n}
+  StatusOr<Fragment> ParseBound(Fragment atom) {
+    Take();  // '{'
+    SYMPHONY_ASSIGN_OR_RETURN(int min_count, ParseInt());
+    int max_count = min_count;
+    bool unbounded = false;
+    if (!AtEnd() && Peek() == ',') {
+      Take();
+      if (!AtEnd() && Peek() == '}') {
+        unbounded = true;
+      } else {
+        SYMPHONY_ASSIGN_OR_RETURN(max_count, ParseInt());
+      }
+    }
+    if (AtEnd() || Take() != '}') {
+      return InvalidArgumentError("unterminated {} bound");
+    }
+    if (!unbounded && max_count < min_count) {
+      return InvalidArgumentError("bad {} bound: max < min");
+    }
+    if (min_count > 256 || (!unbounded && max_count > 256)) {
+      return InvalidArgumentError("{} bound too large (max 256)");
+    }
+
+    Fragment result = nfa_->Empty();
+    bool any = false;
+    auto append = [&](Fragment f) {
+      result = any ? nfa_->Concat(result, f) : f;
+      any = true;
+    };
+    for (int i = 0; i < min_count; ++i) {
+      append(nfa_->Clone(atom));
+    }
+    if (unbounded) {
+      append(nfa_->Star(nfa_->Clone(atom)));
+    } else {
+      for (int i = min_count; i < max_count; ++i) {
+        append(nfa_->Optional(nfa_->Clone(atom)));
+      }
+    }
+    return result;
+  }
+
+  StatusOr<int> ParseInt() {
+    if (AtEnd() || Peek() < '0' || Peek() > '9') {
+      return InvalidArgumentError("expected integer in {} bound");
+    }
+    int value = 0;
+    while (!AtEnd() && Peek() >= '0' && Peek() <= '9') {
+      value = value * 10 + (Take() - '0');
+      if (value > 100000) {
+        return InvalidArgumentError("integer too large in {} bound");
+      }
+    }
+    return value;
+  }
+
+  StatusOr<Fragment> ParseAtom() {
+    if (AtEnd()) {
+      return InvalidArgumentError("unexpected end of pattern");
+    }
+    char c = Take();
+    switch (c) {
+      case '(': {
+        SYMPHONY_ASSIGN_OR_RETURN(Fragment inner, ParseAlternation());
+        if (AtEnd() || Take() != ')') {
+          return InvalidArgumentError("unbalanced parenthesis");
+        }
+        return inner;
+      }
+      case '[':
+        return ParseClass();
+      case '.':
+        return nfa_->Chars(AnyChars());
+      case '\\': {
+        SYMPHONY_ASSIGN_OR_RETURN(CharSet set, ParseEscape());
+        return nfa_->Chars(set);
+      }
+      case '*':
+      case '+':
+      case '?':
+      case '{':
+      case ')':
+      case '|':
+        return InvalidArgumentError(std::string("misplaced metacharacter '") + c +
+                                    "'");
+      default:
+        return nfa_->Chars(SingleChar(static_cast<unsigned char>(c)));
+    }
+  }
+
+  StatusOr<CharSet> ParseEscape() {
+    if (AtEnd()) {
+      return InvalidArgumentError("dangling backslash");
+    }
+    char c = Take();
+    switch (c) {
+      case 'd':
+        return DigitChars();
+      case 'D':
+        return ~DigitChars() & AnyChars();
+      case 'w':
+        return WordChars();
+      case 'W':
+        return ~WordChars() & AnyChars();
+      case 's':
+        return SpaceChars();
+      case 'S':
+        return ~SpaceChars() & AnyChars();
+      case 'n':
+        return SingleChar('\n');
+      case 't':
+        return SingleChar('\t');
+      case 'r':
+        return SingleChar('\r');
+      default:
+        // Escaped literal (punctuation, backslash, brackets...).
+        return SingleChar(static_cast<unsigned char>(c));
+    }
+  }
+
+  StatusOr<Fragment> ParseClass() {
+    bool negate = false;
+    if (!AtEnd() && Peek() == '^') {
+      Take();
+      negate = true;
+    }
+    CharSet set;
+    bool first = true;
+    while (!AtEnd() && (Peek() != ']' || first)) {
+      first = false;
+      char c = Take();
+      CharSet piece;
+      if (c == '\\') {
+        SYMPHONY_ASSIGN_OR_RETURN(piece, ParseEscape());
+        set |= piece;
+        continue;
+      }
+      // Range?
+      if (!AtEnd() && Peek() == '-' && pos_ + 1 < pattern_.size() &&
+          pattern_[pos_ + 1] != ']') {
+        Take();  // '-'
+        char hi = Take();
+        if (static_cast<unsigned char>(hi) < static_cast<unsigned char>(c)) {
+          return InvalidArgumentError("inverted range in character class");
+        }
+        set |= RangeChars(static_cast<unsigned char>(c),
+                          static_cast<unsigned char>(hi));
+      } else {
+        set.set(static_cast<unsigned char>(c));
+      }
+    }
+    if (AtEnd() || Take() != ']') {
+      return InvalidArgumentError("unterminated character class");
+    }
+    if (negate) {
+      set = ~set & AnyChars();
+    }
+    return nfa_->Chars(set);
+  }
+
+  std::string_view pattern_;
+  NfaBuilder* nfa_;
+  size_t pos_ = 0;
+};
+
+// ---------------------------------------------------------------------------
+// Subset construction
+// ---------------------------------------------------------------------------
+
+std::vector<int> EpsClosure(const std::vector<NfaState>& states,
+                            std::vector<int> set) {
+  std::vector<bool> in_set(states.size(), false);
+  std::deque<int> pending;
+  for (int s : set) {
+    in_set[static_cast<size_t>(s)] = true;
+    pending.push_back(s);
+  }
+  while (!pending.empty()) {
+    int s = pending.front();
+    pending.pop_front();
+    for (int to : states[static_cast<size_t>(s)].eps) {
+      if (!in_set[static_cast<size_t>(to)]) {
+        in_set[static_cast<size_t>(to)] = true;
+        set.push_back(to);
+        pending.push_back(to);
+      }
+    }
+  }
+  std::sort(set.begin(), set.end());
+  return set;
+}
+
+}  // namespace
+
+StatusOr<std::unique_ptr<Dfa>> CompileRegex(std::string_view pattern,
+                                            size_t max_states) {
+  NfaBuilder nfa;
+  Parser parser(pattern, &nfa);
+  SYMPHONY_ASSIGN_OR_RETURN(Fragment fragment, parser.Parse());
+
+  const std::vector<NfaState>& states = nfa.states();
+  auto dfa = std::make_unique<Dfa>();
+
+  std::map<std::vector<int>, Dfa::StateId> ids;
+  std::vector<std::vector<int>> sets;
+  std::deque<Dfa::StateId> pending;
+
+  std::vector<int> start_set = EpsClosure(states, {fragment.start});
+  ids[start_set] = 0;
+  sets.push_back(start_set);
+  pending.push_back(0);
+  dfa->start_ = 0;
+  dfa->transitions_.resize(256, Dfa::kDead);
+  dfa->accept_.push_back(std::binary_search(start_set.begin(), start_set.end(),
+                                            fragment.accept));
+
+  while (!pending.empty()) {
+    Dfa::StateId id = pending.front();
+    pending.pop_front();
+    const std::vector<int> current = sets[id];
+
+    // Move on each character. For efficiency, gather edges once.
+    for (int c = 0; c < 256; ++c) {
+      std::vector<int> next;
+      for (int s : current) {
+        for (const auto& [chars, to] : states[static_cast<size_t>(s)].edges) {
+          if (chars.test(static_cast<size_t>(c))) {
+            next.push_back(to);
+          }
+        }
+      }
+      if (next.empty()) {
+        continue;
+      }
+      std::sort(next.begin(), next.end());
+      next.erase(std::unique(next.begin(), next.end()), next.end());
+      next = EpsClosure(states, std::move(next));
+      auto [it, inserted] = ids.emplace(next, static_cast<Dfa::StateId>(sets.size()));
+      if (inserted) {
+        if (sets.size() >= max_states) {
+          return ResourceExhaustedError("regex DFA exceeds state limit");
+        }
+        sets.push_back(next);
+        pending.push_back(it->second);
+        dfa->transitions_.resize(dfa->transitions_.size() + 256, Dfa::kDead);
+        dfa->accept_.push_back(std::binary_search(next.begin(), next.end(),
+                                                  fragment.accept));
+      }
+      dfa->transitions_[id * 256 + static_cast<size_t>(c)] = it->second;
+    }
+  }
+
+  // Liveness: states from which an accepting state is reachable (backward
+  // reachability via reverse edges).
+  size_t n = dfa->accept_.size();
+  std::vector<std::vector<Dfa::StateId>> reverse(n);
+  for (size_t s = 0; s < n; ++s) {
+    for (int c = 0; c < 256; ++c) {
+      Dfa::StateId to = dfa->transitions_[s * 256 + static_cast<size_t>(c)];
+      if (to != Dfa::kDead) {
+        reverse[to].push_back(static_cast<Dfa::StateId>(s));
+      }
+    }
+  }
+  dfa->live_.assign(n, false);
+  std::deque<Dfa::StateId> live_pending;
+  for (size_t s = 0; s < n; ++s) {
+    if (dfa->accept_[s]) {
+      dfa->live_[s] = true;
+      live_pending.push_back(static_cast<Dfa::StateId>(s));
+    }
+  }
+  while (!live_pending.empty()) {
+    Dfa::StateId s = live_pending.front();
+    live_pending.pop_front();
+    for (Dfa::StateId from : reverse[s]) {
+      if (!dfa->live_[from]) {
+        dfa->live_[from] = true;
+        live_pending.push_back(from);
+      }
+    }
+  }
+
+  return dfa;
+}
+
+const std::string& TokenConstraint::TokenText(TokenId token) const {
+  auto it = token_text_.find(token);
+  if (it == token_text_.end()) {
+    it = token_text_.emplace(token, tokenizer_->TokenToString(token)).first;
+  }
+  return it->second;
+}
+
+bool TokenConstraint::Allows(Dfa::StateId state, TokenId token) const {
+  if (token == kEosToken) {
+    return dfa_->IsAccept(state);
+  }
+  if (token == kPadToken || token == kBosToken || token == kUnkToken) {
+    return false;
+  }
+  if (token < 0 || static_cast<uint32_t>(token) >= tokenizer_->vocab_size()) {
+    return false;
+  }
+  Dfa::StateId next = dfa_->Run(state, TokenText(token));
+  return !dfa_->IsDeadEnd(next);
+}
+
+Dfa::StateId TokenConstraint::Advance(Dfa::StateId state, TokenId token) const {
+  if (token == kEosToken) {
+    return state;
+  }
+  return dfa_->Run(state, TokenText(token));
+}
+
+}  // namespace symphony

@@ -1,0 +1,57 @@
+#include "src/decode/samplers.h"
+
+#include <algorithm>
+#include <cmath>
+#include <vector>
+
+namespace symphony {
+
+TokenId SampleToken(const Distribution& dist, const SamplerConfig& config, double u) {
+  if (config.temperature <= 0.0) {
+    return dist.Argmax();
+  }
+  bool truncated = config.top_k > 0 || config.top_p < 1.0;
+  if (!truncated) {
+    return dist.Sample(u, config.temperature);
+  }
+
+  // Truncation operates on the candidate set, which carries virtually all of
+  // the distribution's mass (the tail floor is ~1e-8 per token).
+  std::vector<TokenId> candidates = dist.TopCandidates();
+  size_t keep = candidates.size();
+  if (config.top_k > 0) {
+    keep = std::min<size_t>(keep, config.top_k);
+  }
+  if (config.top_p < 1.0) {
+    double cum = 0.0;
+    size_t nucleus = 0;
+    for (size_t i = 0; i < keep; ++i) {
+      cum += dist.Prob(candidates[i]);
+      ++nucleus;
+      if (cum >= config.top_p) {
+        break;
+      }
+    }
+    keep = nucleus;
+  }
+  keep = std::max<size_t>(keep, 1);
+
+  // Renormalized inverse-CDF over the kept tokens at the given temperature.
+  std::vector<double> weights(keep);
+  double total = 0.0;
+  for (size_t i = 0; i < keep; ++i) {
+    // Prob() is at temperature 1; re-shape with the configured temperature.
+    weights[i] = std::pow(dist.Prob(candidates[i]), 1.0 / config.temperature);
+    total += weights[i];
+  }
+  double target = u * total;
+  for (size_t i = 0; i < keep; ++i) {
+    if (target < weights[i]) {
+      return candidates[i];
+    }
+    target -= weights[i];
+  }
+  return candidates[keep - 1];
+}
+
+}  // namespace symphony

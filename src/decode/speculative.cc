@@ -1,0 +1,40 @@
+#include "src/decode/speculative.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace symphony {
+
+SpeculativeOutcome VerifyDraft(const Distribution& target_before,
+                               const std::vector<TokenId>& draft_tokens,
+                               const std::vector<Distribution>& draft_dists,
+                               const std::vector<Distribution>& target_dists,
+                               Rng& rng) {
+  assert(draft_tokens.size() == draft_dists.size());
+  assert(draft_tokens.size() == target_dists.size());
+
+  SpeculativeOutcome outcome;
+  if (draft_tokens.empty()) {
+    outcome.next_token = target_before.Sample(rng.NextDouble());
+    return outcome;
+  }
+  for (size_t i = 0; i < draft_tokens.size(); ++i) {
+    const Distribution& target =
+        i == 0 ? target_before : target_dists[i - 1];
+    double p = target.Prob(draft_tokens[i]);
+    double q = std::max(draft_dists[i].Prob(draft_tokens[i]), 1e-12);
+    double accept_prob = std::min(1.0, p / q);
+    if (rng.NextDouble() < accept_prob) {
+      ++outcome.accepted;
+      continue;
+    }
+    // Rejected: correction token from the target distribution at this point.
+    outcome.next_token = target.Sample(rng.NextDouble());
+    return outcome;
+  }
+  // All accepted: bonus token from the distribution after the last draft.
+  outcome.next_token = target_dists.back().Sample(rng.NextDouble());
+  return outcome;
+}
+
+}  // namespace symphony

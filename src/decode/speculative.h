@@ -1,0 +1,49 @@
+// Speculative decoding support (paper §4.1).
+//
+// The LIP drafts k tokens with a cheap model, then passes all of them to a
+// single pred on the target model; pred returns one distribution per draft
+// token, which the verifier checks left to right. Accepted tokens stay in
+// the KV file; the LIP truncates the rejected suffix (kv_truncate) and
+// appends the correction token.
+//
+// Acceptance uses the standard stochastic rule: accept draft token x with
+// probability min(1, p_target(x) / p_draft(x)); on rejection, fall back to a
+// sample from the target distribution (a simplification of the residual
+// distribution max(0, p-q), which our constructive distributions cannot
+// renormalize in closed form — documented in DESIGN.md).
+#ifndef SRC_DECODE_SPECULATIVE_H_
+#define SRC_DECODE_SPECULATIVE_H_
+
+#include <cstddef>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/model/distribution.h"
+#include "src/model/tokenizer.h"
+
+namespace symphony {
+
+struct SpeculativeOutcome {
+  // Number of draft tokens accepted (0..k).
+  size_t accepted = 0;
+  // Token to emit after the accepted prefix: on full acceptance this is a
+  // bonus token sampled from the final target distribution; on rejection it
+  // is the correction sample.
+  TokenId next_token = kUnkToken;
+};
+
+// `draft_tokens[i]` was proposed from `draft_dists[i]` (the draft model's
+// distribution *before* emitting the token). `target_dists` are pred's
+// results: target_dists[i] is the target distribution after consuming
+// draft_tokens[0..i]; the verification of draft_tokens[i] therefore uses the
+// distribution at index i-1, and `target_before` (the target distribution
+// before any draft token) verifies draft_tokens[0].
+SpeculativeOutcome VerifyDraft(const Distribution& target_before,
+                               const std::vector<TokenId>& draft_tokens,
+                               const std::vector<Distribution>& draft_dists,
+                               const std::vector<Distribution>& target_dists,
+                               Rng& rng);
+
+}  // namespace symphony
+
+#endif  // SRC_DECODE_SPECULATIVE_H_

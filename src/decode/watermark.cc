@@ -1,0 +1,56 @@
+#include "src/decode/watermark.h"
+
+#include <cmath>
+
+#include "src/common/hash.h"
+
+namespace symphony {
+
+bool Watermarker::IsGreen(TokenId prev_token, TokenId token) const {
+  uint64_t h = Mix64(config_.salt ^
+                     (static_cast<uint64_t>(static_cast<uint32_t>(prev_token))
+                      << 32) ^
+                     static_cast<uint64_t>(static_cast<uint32_t>(token)));
+  // Map to [0,1): green iff below gamma.
+  double unit = static_cast<double>(h >> 11) * 0x1.0p-53;
+  return unit < config_.gamma;
+}
+
+TokenId Watermarker::Sample(const Distribution& dist, TokenId prev_token,
+                            double u_bias, double u_sample,
+                            double temperature) const {
+  if (u_bias < config_.bias) {
+    TokenId green = dist.SampleMasked(
+        u_sample, temperature,
+        [&](TokenId t) { return IsGreen(prev_token, t); });
+    if (green != kUnkToken) {
+      return green;
+    }
+  }
+  return dist.Sample(u_sample, temperature);
+}
+
+WatermarkVerdict DetectWatermark(const std::vector<TokenId>& tokens,
+                                 const WatermarkConfig& config,
+                                 double z_threshold) {
+  Watermarker watermarker(config);
+  WatermarkVerdict verdict;
+  for (size_t i = 1; i < tokens.size(); ++i) {
+    ++verdict.total;
+    if (watermarker.IsGreen(tokens[i - 1], tokens[i])) {
+      ++verdict.green;
+    }
+  }
+  if (verdict.total == 0) {
+    return verdict;
+  }
+  double n = static_cast<double>(verdict.total);
+  double expected = config.gamma * n;
+  double variance = n * config.gamma * (1.0 - config.gamma);
+  verdict.z_score =
+      (static_cast<double>(verdict.green) - expected) / std::sqrt(variance);
+  verdict.watermarked = verdict.z_score > z_threshold;
+  return verdict;
+}
+
+}  // namespace symphony

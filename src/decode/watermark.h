@@ -1,0 +1,63 @@
+// Token-level watermarking (Kirchenbauer et al., cited by paper §2.3 [26]).
+//
+// A stateful sampling strategy that a prompt API cannot express: at each
+// step, the previous token seeds a pseudo-random partition of the vocabulary
+// into a "green list" (fraction gamma); sampling is biased toward green
+// tokens. A detector that knows the salt recomputes the partition and tests
+// whether the green fraction of a text is statistically improbable.
+//
+// In Symphony this is ~15 lines of LIP code around pred's distributions;
+// this header packages it with a detector so tests can close the loop.
+#ifndef SRC_DECODE_WATERMARK_H_
+#define SRC_DECODE_WATERMARK_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "src/model/distribution.h"
+#include "src/model/tokenizer.h"
+
+namespace symphony {
+
+struct WatermarkConfig {
+  uint64_t salt = 0x3a7e12f9ULL;
+  double gamma = 0.5;  // Green-list fraction of the vocabulary.
+  // Strength: probability that a step is forced to sample green (soft
+  // watermark: delta-boost approximated by constrained resampling).
+  double bias = 0.85;
+};
+
+class Watermarker {
+ public:
+  explicit Watermarker(WatermarkConfig config) : config_(config) {}
+
+  // True if `token` is on the green list seeded by `prev_token`.
+  bool IsGreen(TokenId prev_token, TokenId token) const;
+
+  // Samples the next token from `dist` with the watermark bias applied.
+  // `u_bias` decides whether this step is green-constrained; `u_sample`
+  // drives the (possibly masked) sampling.
+  TokenId Sample(const Distribution& dist, TokenId prev_token, double u_bias,
+                 double u_sample, double temperature = 1.0) const;
+
+  const WatermarkConfig& config() const { return config_; }
+
+ private:
+  WatermarkConfig config_;
+};
+
+struct WatermarkVerdict {
+  uint64_t green = 0;
+  uint64_t total = 0;
+  double z_score = 0.0;  // Standard deviations above the gamma baseline.
+  bool watermarked = false;
+};
+
+// Tests a token sequence for the watermark (z > threshold).
+WatermarkVerdict DetectWatermark(const std::vector<TokenId>& tokens,
+                                 const WatermarkConfig& config,
+                                 double z_threshold = 4.0);
+
+}  // namespace symphony
+
+#endif  // SRC_DECODE_WATERMARK_H_

@@ -1,0 +1,108 @@
+#include "src/kvfs/page_pool.h"
+
+#include <cassert>
+
+namespace symphony {
+
+PagePool::PagePool(uint64_t gpu_page_budget, uint64_t host_page_budget)
+    : gpu_budget_(gpu_page_budget), host_budget_(host_page_budget) {
+  pages_.reserve(1024);
+}
+
+PagePool::PageMeta& PagePool::Meta(PageId id) {
+  assert(id < pages_.size());
+  assert(pages_[id].live);
+  return pages_[id];
+}
+
+const PagePool::PageMeta& PagePool::Meta(PageId id) const {
+  assert(id < pages_.size());
+  assert(pages_[id].live);
+  return pages_[id];
+}
+
+uint64_t& PagePool::TierUsage(Tier tier) {
+  return tier == Tier::kGpu ? stats_.gpu_pages_used : stats_.host_pages_used;
+}
+
+StatusOr<PageId> PagePool::Allocate(Tier tier) {
+  uint64_t budget = tier == Tier::kGpu ? gpu_budget_ : host_budget_;
+  if (TierUsage(tier) >= budget) {
+    return ResourceExhaustedError(tier == Tier::kGpu ? "gpu page budget exhausted"
+                                                     : "host page budget exhausted");
+  }
+  PageId id;
+  if (!free_list_.empty()) {
+    id = free_list_.back();
+    free_list_.pop_back();
+  } else {
+    id = static_cast<PageId>(pages_.size());
+    pages_.emplace_back();
+  }
+  PageMeta& meta = pages_[id];
+  meta = PageMeta{};
+  meta.refcount = 1;
+  meta.tier = tier;
+  meta.live = true;
+  ++TierUsage(tier);
+  ++stats_.allocations;
+  return id;
+}
+
+void PagePool::Ref(PageId id) { ++Meta(id).refcount; }
+
+void PagePool::Unref(PageId id) {
+  PageMeta& meta = Meta(id);
+  assert(meta.refcount > 0);
+  if (--meta.refcount == 0) {
+    --TierUsage(meta.tier);
+    meta.live = false;
+    free_list_.push_back(id);
+    ++stats_.frees;
+  }
+}
+
+StatusOr<PageId> PagePool::EnsureExclusive(PageId id) {
+  PageMeta& meta = Meta(id);
+  if (meta.refcount == 1) {
+    return id;
+  }
+  SYMPHONY_ASSIGN_OR_RETURN(PageId copy, Allocate(meta.tier));
+  PageMeta& copy_meta = pages_[copy];
+  // Re-fetch: Allocate may have reallocated pages_.
+  PageMeta& src_meta = pages_[id];
+  copy_meta.records = src_meta.records;
+  copy_meta.used = src_meta.used;
+  --src_meta.refcount;
+  ++stats_.cow_copies;
+  return copy;
+}
+
+Status PagePool::MoveToTier(PageId id, Tier tier) {
+  PageMeta& meta = Meta(id);
+  if (meta.tier == tier) {
+    return Status::Ok();
+  }
+  uint64_t budget = tier == Tier::kGpu ? gpu_budget_ : host_budget_;
+  if (TierUsage(tier) >= budget) {
+    return ResourceExhaustedError("target tier full");
+  }
+  --TierUsage(meta.tier);
+  meta.tier = tier;
+  ++TierUsage(tier);
+  ++stats_.tier_moves;
+  return Status::Ok();
+}
+
+TokenRecord* PagePool::MutableRecords(PageId id) { return Meta(id).records.data(); }
+const TokenRecord* PagePool::Records(PageId id) const { return Meta(id).records.data(); }
+
+uint32_t PagePool::used(PageId id) const { return Meta(id).used; }
+void PagePool::set_used(PageId id, uint32_t used) {
+  assert(used <= kPageTokens);
+  Meta(id).used = used;
+}
+uint32_t PagePool::refcount(PageId id) const { return Meta(id).refcount; }
+Tier PagePool::tier(PageId id) const { return Meta(id).tier; }
+
+}  // namespace symphony

@@ -1,0 +1,195 @@
+#include "src/liplib/generation.h"
+
+#include <cmath>
+#include <memory>
+
+namespace symphony {
+
+ValueTask<GenResult> Generate(LipContext& ctx, KvHandle kv,
+                              std::vector<TokenId> prompt, GenOptions options) {
+  GenResult result;
+  if (prompt.empty()) {
+    result.status = InvalidArgumentError(
+        "Generate needs at least one prompt token to obtain a distribution");
+    co_return result;
+  }
+  StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(kv, prompt);
+  if (!dists.ok()) {
+    result.status = dists.status();
+    co_return result;
+  }
+  Distribution dist = dists->back();
+  while (result.tokens.size() < options.max_new_tokens) {
+    TokenId t = SampleToken(dist, options.sampler, ctx.uniform());
+    if (t == kEosToken && options.stop_at_eos) {
+      result.hit_eos = true;
+      break;
+    }
+    double logprob = dist.LogProb(t);
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+    if (!d.ok()) {
+      result.status = d.status();
+      co_return result;
+    }
+    result.tokens.push_back(t);
+    result.sum_logprob += logprob;
+    dist = d->back();
+  }
+  result.status = Status::Ok();
+  co_return result;
+}
+
+TokenMask MaskFromRegex(const TokenConstraint* constraint) {
+  auto state = std::make_shared<Dfa::StateId>(constraint->start());
+  TokenMask mask;
+  mask.allows = [constraint, state](TokenId t) {
+    return constraint->Allows(*state, t);
+  };
+  mask.advance = [constraint, state](TokenId t) {
+    *state = constraint->Advance(*state, t);
+  };
+  mask.done = [constraint, state] { return constraint->IsAccept(*state); };
+  return mask;
+}
+
+TokenMask MaskFromJson(JsonMachine* machine, const Tokenizer* tokenizer) {
+  TokenMask mask;
+  mask.allows = [machine, tokenizer](TokenId t) {
+    if (t >= kFirstByteToken && t < kFirstWordToken) {
+      char c = static_cast<char>(t - kFirstByteToken);
+      if (c == ' ' || c == '\t' || c == '\n' || c == '\r') {
+        return false;  // Whitespace stalls structural progress.
+      }
+    }
+    return machine->AllowsToken(*tokenizer, t);
+  };
+  mask.advance = [machine, tokenizer](TokenId t) {
+    machine->AdvanceToken(*tokenizer, t);
+  };
+  mask.done = [machine] { return machine->Done(); };
+  return mask;
+}
+
+ValueTask<GenResult> GenerateConstrained(LipContext& ctx, KvHandle kv,
+                                         std::vector<TokenId> prompt,
+                                         TokenMask mask, GenOptions options) {
+  GenResult result;
+  if (prompt.empty()) {
+    result.status = InvalidArgumentError(
+        "GenerateConstrained needs at least one prompt token");
+    co_return result;
+  }
+  StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(kv, prompt);
+  if (!dists.ok()) {
+    result.status = dists.status();
+    co_return result;
+  }
+  Distribution dist = dists->back();
+  while (result.tokens.size() < options.max_new_tokens && !mask.done()) {
+    TokenId t;
+    if (options.sampler.temperature <= 0.0) {
+      t = dist.GreedyMasked(mask.allows);
+    } else {
+      t = dist.SampleMasked(ctx.uniform(), options.sampler.temperature,
+                            mask.allows);
+    }
+    if (t == kUnkToken) {
+      result.status = FailedPreconditionError("constraint dead end");
+      co_return result;
+    }
+    if (t == kEosToken) {
+      result.hit_eos = true;
+      break;
+    }
+    double logprob = dist.LogProb(t);
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+    if (!d.ok()) {
+      result.status = d.status();
+      co_return result;
+    }
+    mask.advance(t);
+    result.tokens.push_back(t);
+    result.sum_logprob += logprob;
+    dist = d->back();
+  }
+  result.status = Status::Ok();
+  co_return result;
+}
+
+ValueTask<GenResult> BestOfN(LipContext& ctx, KvHandle base,
+                             std::vector<TokenId> prompt, int n,
+                             GenOptions options) {
+  GenResult failure;
+  if (prompt.empty() || n < 1) {
+    failure.status = InvalidArgumentError("BestOfN needs a prompt and n >= 1");
+    co_return failure;
+  }
+  // Feed the prompt once on the base file; every candidate forks it.
+  StatusOr<std::vector<Distribution>> dists = co_await ctx.pred(base, prompt);
+  if (!dists.ok()) {
+    failure.status = dists.status();
+    co_return failure;
+  }
+  Distribution seed_dist = dists->back();
+
+  auto candidates = std::make_shared<std::vector<GenResult>>(
+      static_cast<size_t>(n));
+  std::vector<ThreadId> threads;
+  for (int i = 0; i < n; ++i) {
+    StatusOr<KvHandle> fork = ctx.kv_fork(base);
+    if (!fork.ok()) {
+      failure.status = fork.status();
+      co_return failure;
+    }
+    KvHandle kv = *fork;
+    threads.push_back(ctx.spawn(
+        [kv, i, seed_dist, options, candidates](LipContext& inner) -> Task {
+          GenResult& slot = (*candidates)[static_cast<size_t>(i)];
+          Distribution dist = seed_dist;
+          slot.status = Status::Ok();
+          while (slot.tokens.size() < options.max_new_tokens) {
+            TokenId t = SampleToken(dist, options.sampler, inner.uniform());
+            if (t == kEosToken && options.stop_at_eos) {
+              slot.hit_eos = true;
+              break;
+            }
+            double logprob = dist.LogProb(t);
+            StatusOr<std::vector<Distribution>> d = co_await inner.pred1(kv, t);
+            if (!d.ok()) {
+              slot.status = d.status();
+              break;
+            }
+            slot.tokens.push_back(t);
+            slot.sum_logprob += logprob;
+            dist = d->back();
+          }
+          (void)inner.kv_close(kv);
+          co_return;
+        }));
+  }
+  for (ThreadId thread : threads) {
+    co_await ctx.join(thread);
+  }
+
+  // Rerank by length-normalized log-likelihood.
+  const GenResult* best = nullptr;
+  double best_score = 0.0;
+  for (const GenResult& candidate : *candidates) {
+    if (!candidate.ok() || candidate.tokens.empty()) {
+      continue;
+    }
+    double score = candidate.sum_logprob /
+                   static_cast<double>(candidate.tokens.size());
+    if (best == nullptr || score > best_score) {
+      best = &candidate;
+      best_score = score;
+    }
+  }
+  if (best == nullptr) {
+    failure.status = UnavailableError("no best-of-n candidate succeeded");
+    co_return failure;
+  }
+  co_return *best;
+}
+
+}  // namespace symphony

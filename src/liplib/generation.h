@@ -1,0 +1,85 @@
+// LIP standard library: reusable generation strategies.
+//
+// The paper's thesis is that generation strategy is application code; this
+// library is what that application code looks like when packaged for reuse.
+// Every routine here is an awaitable subroutine (ValueTask) built purely on
+// the public LipContext system-call surface — no serving-system hooks.
+//
+//   GenResult r = co_await liplib_generate(ctx, kv, prompt, options);
+//
+// Strategies: plain sampling, constrained (any TokenMask), best-of-N
+// (parallel sampling + model-likelihood reranking), and beam search (in
+// beam.h). All are deterministic given the LIP's seed.
+#ifndef SRC_LIPLIB_GENERATION_H_
+#define SRC_LIPLIB_GENERATION_H_
+
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/decode/json_machine.h"
+#include "src/decode/regex.h"
+#include "src/decode/samplers.h"
+#include "src/runtime/lip_context.h"
+#include "src/runtime/task.h"
+
+namespace symphony {
+
+struct GenOptions {
+  SamplerConfig sampler;
+  uint32_t max_new_tokens = 64;
+  bool stop_at_eos = true;
+};
+
+struct GenResult {
+  Status status;
+  std::vector<TokenId> tokens;  // Generated tokens (EOS excluded).
+  bool hit_eos = false;
+  double sum_logprob = 0.0;  // Model log-likelihood of the generated tokens.
+
+  bool ok() const { return status.ok(); }
+};
+
+// Feeds `prompt` (may be empty if the file already has content and
+// `first_dist` semantics are not needed) and generates up to max_new_tokens.
+// The KV file is left containing prompt + generated tokens.
+ValueTask<GenResult> Generate(LipContext& ctx, KvHandle kv,
+                              std::vector<TokenId> prompt, GenOptions options);
+
+// A pluggable token mask with per-step state (regex DFA, JSON machine, or
+// anything the application invents).
+struct TokenMask {
+  // May token `t` be emitted now?
+  std::function<bool(TokenId)> allows;
+  // Commit token `t` (advance internal state).
+  std::function<void(TokenId)> advance;
+  // Is the constraint satisfied (generation may stop)?
+  std::function<bool()> done;
+};
+
+// Wraps a TokenConstraint (regex DFA) as a TokenMask. The returned mask
+// holds a mutable DFA state; the constraint object must outlive it.
+TokenMask MaskFromRegex(const TokenConstraint* constraint);
+
+// Wraps a JsonMachine as a TokenMask; the machine must outlive the mask.
+// Whitespace tokens are excluded so generation always makes progress.
+TokenMask MaskFromJson(JsonMachine* machine, const Tokenizer* tokenizer);
+
+// Constrained generation: every emitted token satisfies the mask; stops when
+// the mask reports done (and EOS is then implied) or max_new_tokens.
+// Fails with kFailedPrecondition on a dead end (no token allowed).
+ValueTask<GenResult> GenerateConstrained(LipContext& ctx, KvHandle kv,
+                                         std::vector<TokenId> prompt,
+                                         TokenMask mask, GenOptions options);
+
+// Best-of-N: runs N independent sampled generations in parallel threads,
+// each on its own fork of `base` (after feeding `prompt` once), and returns
+// the candidate with the highest length-normalized model log-likelihood.
+ValueTask<GenResult> BestOfN(LipContext& ctx, KvHandle base,
+                             std::vector<TokenId> prompt, int n,
+                             GenOptions options);
+
+}  // namespace symphony
+
+#endif  // SRC_LIPLIB_GENERATION_H_

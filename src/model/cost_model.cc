@@ -1,0 +1,51 @@
+#include "src/model/cost_model.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace symphony {
+
+SimDuration CostModel::BatchTime(std::span<const WorkItem> items) const {
+  if (items.empty()) {
+    return 0;
+  }
+  double total_new = 0.0;
+  double kv_read_bytes = 0.0;
+  const double kv_per_token = static_cast<double>(model_.KvBytesPerToken());
+  for (const WorkItem& item : items) {
+    assert(item.new_tokens > 0);
+    double n = static_cast<double>(item.new_tokens);
+    double ctx0 = static_cast<double>(item.context_start);
+    total_new += n;
+    // Sum of context lengths attended by each of the n new tokens:
+    //   sum_{i=1..n} (ctx0 + i) = n*ctx0 + n(n+1)/2.
+    double attended = n * ctx0 + n * (n + 1.0) / 2.0;
+    // FlashAttention re-reads KV once per query block, not per query token.
+    double block = static_cast<double>(
+        std::min<uint64_t>(item.new_tokens, hw_.attention_block));
+    kv_read_bytes += attended * kv_per_token / block;
+    // Newly produced KV is written once.
+    kv_read_bytes += n * kv_per_token;
+  }
+
+  double compute_s = total_new * model_.FlopsPerToken() /
+                     (hw_.peak_flops * hw_.compute_efficiency);
+  double memory_s = (static_cast<double>(model_.WeightBytes()) + kv_read_bytes) /
+                    (hw_.hbm_bandwidth * hw_.memory_efficiency);
+  return hw_.kernel_overhead + DurationFromSeconds(std::max(compute_s, memory_s));
+}
+
+SimDuration CostModel::TransferTime(uint64_t bytes) const {
+  return hw_.pcie_latency +
+         DurationFromSeconds(static_cast<double>(bytes) / hw_.pcie_bandwidth);
+}
+
+uint64_t CostModel::DeviceKvBudgetBytes() const {
+  uint64_t reserved = model_.WeightBytes() + hw_.activation_reserve_bytes;
+  if (reserved >= hw_.hbm_bytes) {
+    return 0;
+  }
+  return hw_.hbm_bytes - reserved;
+}
+
+}  // namespace symphony

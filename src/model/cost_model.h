@@ -1,0 +1,72 @@
+// Analytical execution-time model for the simulated GPU.
+//
+// Roofline-style: a batch step costs max(compute time, memory time) plus a
+// fixed kernel-launch overhead. Compute is FLOPs-bound (2*params per token);
+// memory is one pass over the weights per step plus FlashAttention-style KV
+// traffic (the whole context is re-read once per query *block*, so prefill
+// amortizes KV reads by the block size while decode reads the full context
+// per generated token). Constants default to an NVIDIA A100-80GB, matching
+// the paper's evaluation platform.
+#ifndef SRC_MODEL_COST_MODEL_H_
+#define SRC_MODEL_COST_MODEL_H_
+
+#include <cstdint>
+#include <span>
+
+#include "src/model/model_config.h"
+#include "src/sim/time.h"
+
+namespace symphony {
+
+struct HardwareConfig {
+  double peak_flops = 312e12;        // fp16 tensor-core peak.
+  double compute_efficiency = 0.5;   // Achievable fraction of peak.
+  double hbm_bandwidth = 2.0e12;     // Bytes/s.
+  double memory_efficiency = 0.8;
+  double pcie_bandwidth = 25e9;      // Bytes/s, host<->device transfers.
+  SimDuration pcie_latency = Micros(20);
+  SimDuration kernel_overhead = Micros(150);  // Per batch step.
+  uint64_t hbm_bytes = 80ULL * 1000 * 1000 * 1000;
+  uint64_t host_bytes = 256ULL * 1000 * 1000 * 1000;
+  uint64_t activation_reserve_bytes = 4ULL * 1000 * 1000 * 1000;
+  uint32_t attention_block = 256;    // Query-block size for prefill KV reads.
+
+  static HardwareConfig A100() { return HardwareConfig{}; }
+};
+
+// One model invocation's worth of work for a single request within a batch:
+// process `new_tokens` whose attention context starts at `context_start`
+// tokens (i.e. the request's KV file already holds context_start tokens).
+struct WorkItem {
+  uint64_t new_tokens = 0;
+  uint64_t context_start = 0;
+};
+
+class CostModel {
+ public:
+  CostModel(const ModelConfig& model, HardwareConfig hw = HardwareConfig::A100())
+      : model_(model), hw_(hw) {}
+
+  const HardwareConfig& hardware() const { return hw_; }
+  const ModelConfig& model() const { return model_; }
+
+  // Virtual time to execute one batch step covering all items.
+  SimDuration BatchTime(std::span<const WorkItem> items) const;
+
+  // Host<->device transfer (KV offload/restore).
+  SimDuration TransferTime(uint64_t bytes) const;
+
+  // KV bytes available on-device after weights and activation reserve.
+  uint64_t DeviceKvBudgetBytes() const;
+  uint64_t DeviceKvBudgetTokens() const {
+    return DeviceKvBudgetBytes() / model_.KvBytesPerToken();
+  }
+
+ private:
+  ModelConfig model_;
+  HardwareConfig hw_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_MODEL_COST_MODEL_H_

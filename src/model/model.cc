@@ -1,0 +1,34 @@
+#include "src/model/model.h"
+
+#include "src/common/hash.h"
+
+namespace symphony {
+
+HiddenState Model::InitialState() const {
+  return Mix64(config_.family_seed ^ 0x5ee0dULL);
+}
+
+HiddenState Model::Advance(HiddenState state, TokenId token, int32_t position) const {
+  uint64_t ingredient = static_cast<uint64_t>(static_cast<uint32_t>(token)) |
+                        (static_cast<uint64_t>(static_cast<uint32_t>(position)) << 32);
+  return HashCombine(state, ingredient);
+}
+
+Distribution Model::Predict(HiddenState state) const {
+  return Distribution(state, &config_);
+}
+
+std::vector<HiddenState> Model::AdvanceSeq(HiddenState state,
+                                           const std::vector<TokenId>& tokens,
+                                           int32_t first_position) const {
+  std::vector<HiddenState> states;
+  states.reserve(tokens.size());
+  int32_t pos = first_position;
+  for (TokenId t : tokens) {
+    state = Advance(state, t, pos++);
+    states.push_back(state);
+  }
+  return states;
+}
+
+}  // namespace symphony

@@ -1,0 +1,92 @@
+// Model geometry and derived constants.
+//
+// The serving system never inspects model weights; it only needs the shape
+// quantities that drive memory accounting (KV bytes per token) and the cost
+// model (parameter count, FLOPs). Presets mirror the paper's evaluation model
+// (Llama-13B-class) plus a tiny configuration for fast, exhaustive tests.
+#ifndef SRC_MODEL_MODEL_CONFIG_H_
+#define SRC_MODEL_MODEL_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace symphony {
+
+struct ModelConfig {
+  std::string name;
+  // Models in the same "family" share candidate token preferences (so a draft
+  // model's guesses usually match the target's); jitter_seed + score_jitter
+  // perturb the ranking per model, which controls speculative-decoding
+  // acceptance rates. A smaller model gets a larger jitter.
+  uint64_t family_seed = 0;
+  uint64_t jitter_seed = 0;
+  double score_jitter = 0.25;
+  // Per-step chance (permille) that EOS becomes the top candidate; gives
+  // generations a natural geometric length distribution.
+  uint32_t eos_bias_permille = 15;
+  uint32_t vocab_size = 32000;
+  uint32_t num_layers = 40;
+  uint32_t num_heads = 40;
+  uint32_t num_kv_heads = 40;
+  uint32_t head_dim = 128;
+  uint64_t num_params = 13'000'000'000ULL;
+  uint32_t bytes_per_weight = 2;  // fp16
+  uint32_t bytes_per_kv_scalar = 2;
+
+  // Bytes of KV cache one token occupies across all layers (K and V).
+  uint64_t KvBytesPerToken() const {
+    return 2ULL * num_layers * num_kv_heads * head_dim * bytes_per_kv_scalar;
+  }
+
+  uint64_t WeightBytes() const { return num_params * bytes_per_weight; }
+
+  // Forward-pass FLOPs per token (standard 2 * params approximation).
+  double FlopsPerToken() const { return 2.0 * static_cast<double>(num_params); }
+
+  // Paper's evaluation model: Llama-13B-class on an A100.
+  static ModelConfig Llama13B() {
+    ModelConfig c;
+    c.name = "llama-13b";
+    c.family_seed = 0x13b13b13bULL;
+    c.jitter_seed = 0x7a46e713bULL;
+    c.score_jitter = 0.25;
+    return c;
+  }
+
+  // A 7x smaller draft model for speculative decoding experiments.
+  static ModelConfig Llama1BDraft() {
+    ModelConfig c;
+    c.name = "llama-1b-draft";
+    c.family_seed = 0x13b13b13bULL;  // Same family as Llama13B.
+    c.jitter_seed = 0xd4af7001bULL;
+    c.score_jitter = 0.9;  // Noisier ranking: imperfect draft.
+    c.vocab_size = 32000;
+    c.num_layers = 16;
+    c.num_heads = 16;
+    c.num_kv_heads = 16;
+    c.head_dim = 64;
+    c.num_params = 1'100'000'000ULL;
+    return c;
+  }
+
+  // Tiny model for unit tests: small vocab so full-distribution checks and
+  // constrained decoding over the whole vocabulary stay cheap.
+  static ModelConfig Tiny() {
+    ModelConfig c;
+    c.name = "tiny-test";
+    c.family_seed = 0x7e577e57ULL;
+    c.jitter_seed = 0x7e57a113ULL;
+    c.score_jitter = 0.5;
+    c.vocab_size = 300;
+    c.num_layers = 2;
+    c.num_heads = 2;
+    c.num_kv_heads = 2;
+    c.head_dim = 8;
+    c.num_params = 1'000'000ULL;
+    return c;
+  }
+};
+
+}  // namespace symphony
+
+#endif  // SRC_MODEL_MODEL_CONFIG_H_

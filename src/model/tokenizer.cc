@@ -1,0 +1,151 @@
+#include "src/model/tokenizer.h"
+
+#include <cassert>
+#include <cctype>
+
+namespace symphony {
+
+namespace {
+
+bool IsSpace(char c) {
+  return c == ' ' || c == '\t' || c == '\n' || c == '\r' || c == '\f' || c == '\v';
+}
+
+bool ContainsSpace(std::string_view word) {
+  for (char c : word) {
+    if (IsSpace(c)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
+Tokenizer::Tokenizer(uint32_t vocab_size) : vocab_size_(vocab_size) {
+  assert(vocab_size_ >= static_cast<uint32_t>(kFirstWordToken));
+  uint32_t capacity = vocab_size_ - kFirstWordToken;
+  // Leave headroom for caller-registered words (tool names, tags) when the
+  // vocabulary is large enough to afford it.
+  uint32_t procedural = capacity > 512 ? capacity - 256 : capacity;
+  words_.reserve(capacity);
+  word_ids_.reserve(capacity);
+  for (uint32_t i = 0; i < procedural; ++i) {
+    std::string word = "w" + std::to_string(i);
+    word_ids_.emplace(word, static_cast<TokenId>(kFirstWordToken + words_.size()));
+    words_.push_back(std::move(word));
+  }
+}
+
+StatusOr<TokenId> Tokenizer::AddWord(std::string_view word) {
+  if (word.empty() || ContainsSpace(word)) {
+    return InvalidArgumentError("word must be non-empty and whitespace-free");
+  }
+  auto it = word_ids_.find(std::string(word));
+  if (it != word_ids_.end()) {
+    return it->second;
+  }
+  if (kFirstWordToken + words_.size() >= vocab_size_) {
+    return ResourceExhaustedError("vocabulary full");
+  }
+  TokenId id = static_cast<TokenId>(kFirstWordToken + words_.size());
+  words_.emplace_back(word);
+  word_ids_.emplace(std::string(word), id);
+  return id;
+}
+
+TokenId Tokenizer::LookupWord(std::string_view word) const {
+  auto it = word_ids_.find(std::string(word));
+  return it == word_ids_.end() ? kUnkToken : it->second;
+}
+
+std::vector<TokenId> Tokenizer::Encode(std::string_view text) const {
+  std::vector<TokenId> out;
+  size_t i = 0;
+  bool prev_was_bytes = false;
+  while (i < text.size()) {
+    while (i < text.size() && IsSpace(text[i])) {
+      ++i;
+    }
+    size_t start = i;
+    while (i < text.size() && !IsSpace(text[i])) {
+      ++i;
+    }
+    if (start == i) {
+      break;
+    }
+    std::string_view word = text.substr(start, i - start);
+    TokenId id = LookupWord(word);
+    if (id != kUnkToken) {
+      out.push_back(id);
+      prev_was_bytes = false;
+    } else {
+      // Two byte-encoded words in a row need an explicit space byte, or the
+      // runs would merge on decode.
+      if (prev_was_bytes) {
+        out.push_back(kFirstByteToken + static_cast<TokenId>(' '));
+      }
+      for (unsigned char c : word) {
+        out.push_back(kFirstByteToken + static_cast<TokenId>(c));
+      }
+      prev_was_bytes = true;
+    }
+  }
+  return out;
+}
+
+std::vector<TokenId> Tokenizer::EncodeWithSpecials(std::string_view text) const {
+  std::vector<TokenId> out;
+  out.push_back(kBosToken);
+  std::vector<TokenId> body = Encode(text);
+  out.insert(out.end(), body.begin(), body.end());
+  out.push_back(kEosToken);
+  return out;
+}
+
+std::string Tokenizer::TokenToString(TokenId id) const {
+  switch (id) {
+    case kPadToken:
+      return "<pad>";
+    case kBosToken:
+      return "<bos>";
+    case kEosToken:
+      return "<eos>";
+    case kUnkToken:
+      return "<unk>";
+    default:
+      break;
+  }
+  if (id >= kFirstByteToken && id < kFirstWordToken) {
+    return std::string(1, static_cast<char>(id - kFirstByteToken));
+  }
+  size_t index = static_cast<size_t>(id - kFirstWordToken);
+  if (id >= kFirstWordToken && index < words_.size()) {
+    return words_[index];
+  }
+  return "<invalid>";
+}
+
+std::string Tokenizer::Decode(const std::vector<TokenId>& tokens) const {
+  std::string out;
+  bool in_byte_run = false;
+  for (TokenId id : tokens) {
+    if (id == kBosToken || id == kEosToken || id == kPadToken) {
+      in_byte_run = false;
+      continue;
+    }
+    bool is_byte = id >= kFirstByteToken && id < kFirstWordToken;
+    if (is_byte && in_byte_run) {
+      out += static_cast<char>(id - kFirstByteToken);
+      continue;
+    }
+    if (!out.empty()) {
+      out += ' ';
+    }
+    out += TokenToString(id);
+    in_byte_run = is_byte;
+  }
+  return out;
+}
+
+}  // namespace symphony

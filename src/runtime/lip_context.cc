@@ -1,0 +1,171 @@
+#include "src/runtime/lip_context.h"
+
+#include <numeric>
+
+namespace symphony {
+
+StatusOr<KvHandle> LipContext::kv_open(std::string_view path, bool write) {
+  OpenOptions options;
+  options.requester = lip_;
+  options.read = true;
+  options.write = write;
+  StatusOr<KvHandle> handle = runtime_->kvfs()->Open(path, options);
+  if (handle.ok()) {
+    runtime_->TrackHandle(lip_, *handle);
+  }
+  return handle;
+}
+
+StatusOr<KvHandle> LipContext::kv_create(std::string_view path, uint8_t mode) {
+  OpenOptions options;
+  options.requester = lip_;
+  options.read = true;
+  options.write = true;
+  options.create = true;
+  options.create_mode = mode;
+  StatusOr<KvHandle> handle = runtime_->kvfs()->Open(path, options);
+  if (handle.ok()) {
+    runtime_->TrackHandle(lip_, *handle);
+  }
+  return handle;
+}
+
+StatusOr<KvHandle> LipContext::kv_tmp() {
+  StatusOr<KvHandle> handle = runtime_->kvfs()->CreateAnonymous(lip_);
+  if (handle.ok()) {
+    runtime_->TrackHandle(lip_, *handle);
+  }
+  return handle;
+}
+
+Status LipContext::kv_close(KvHandle handle) {
+  Status st = runtime_->kvfs()->Close(handle);
+  if (st.ok()) {
+    runtime_->UntrackHandle(lip_, handle);
+  }
+  return st;
+}
+
+Status LipContext::kv_remove(std::string_view path) {
+  return runtime_->kvfs()->Remove(path, lip_);
+}
+
+bool LipContext::kv_exists(std::string_view path) const {
+  return runtime_->kvfs()->Exists(path);
+}
+
+StatusOr<KvHandle> LipContext::kv_fork(KvHandle handle) {
+  StatusOr<KvHandle> fork = runtime_->kvfs()->Fork(handle, lip_);
+  if (fork.ok()) {
+    runtime_->TrackHandle(lip_, *fork);
+  }
+  return fork;
+}
+
+StatusOr<KvHandle> LipContext::kv_extract(KvHandle handle,
+                                          std::span<const uint64_t> indices) {
+  StatusOr<KvHandle> extracted = runtime_->kvfs()->Extract(handle, indices, lip_);
+  if (extracted.ok()) {
+    runtime_->TrackHandle(lip_, *extracted);
+  }
+  return extracted;
+}
+
+StatusOr<KvHandle> LipContext::kv_merge(std::span<const KvHandle> handles) {
+  StatusOr<KvHandle> merged = runtime_->kvfs()->Merge(handles, lip_);
+  if (merged.ok()) {
+    runtime_->TrackHandle(lip_, *merged);
+  }
+  return merged;
+}
+
+StatusOr<uint64_t> LipContext::kv_len(KvHandle handle) const {
+  return runtime_->kvfs()->Length(handle);
+}
+
+StatusOr<TokenRecord> LipContext::kv_read(KvHandle handle, uint64_t index) {
+  return runtime_->kvfs()->Read(handle, index);
+}
+
+Status LipContext::kv_truncate(KvHandle handle, uint64_t new_length) {
+  return runtime_->kvfs()->Truncate(handle, new_length);
+}
+
+Status LipContext::kv_lock(KvHandle handle) { return runtime_->kvfs()->Lock(handle); }
+Status LipContext::kv_unlock(KvHandle handle) {
+  return runtime_->kvfs()->Unlock(handle);
+}
+Status LipContext::kv_pin(KvHandle handle) { return runtime_->kvfs()->Pin(handle); }
+Status LipContext::kv_unpin(KvHandle handle) {
+  return runtime_->kvfs()->Unpin(handle);
+}
+Status LipContext::kv_link(KvHandle handle, std::string_view path) {
+  return runtime_->kvfs()->Link(handle, path);
+}
+Status LipContext::kv_chmod(KvHandle handle, uint8_t mode) {
+  return runtime_->kvfs()->SetMode(handle, mode);
+}
+
+Status LipContext::kv_offload(KvHandle handle) {
+  return runtime_->kvfs()->OffloadToHost(handle);
+}
+
+StatusOr<KvFileInfo> LipContext::kv_stat(KvHandle handle) const {
+  return runtime_->kvfs()->Stat(handle);
+}
+
+std::vector<std::string> LipContext::kv_list(std::string_view prefix) const {
+  std::vector<std::string> all = runtime_->kvfs()->List(prefix);
+  std::vector<std::string> readable;
+  for (std::string& name : all) {
+    StatusOr<KvFileInfo> info = runtime_->kvfs()->StatPath(name);
+    if (!info.ok()) {
+      continue;
+    }
+    bool mine = info->owner == lip_;
+    uint8_t mode = info->mode;
+    if (lip_ == kAdminLip || (mine && (mode & kOwnerRead) != 0) ||
+        (!mine && (mode & kOtherRead) != 0)) {
+      readable.push_back(std::move(name));
+    }
+  }
+  return readable;
+}
+
+LipContext::PredAwaitable LipContext::pred_at(KvHandle kv,
+                                              std::vector<TokenId> tokens,
+                                              std::vector<int32_t> positions) {
+  Status early = Status::Ok();
+  if (tokens.empty()) {
+    early = InvalidArgumentError("pred requires at least one token");
+  } else if (tokens.size() != positions.size()) {
+    early = InvalidArgumentError("tokens/positions size mismatch");
+  }
+  return PredAwaitable(runtime_, kv, std::move(tokens), std::move(positions),
+                       std::move(early));
+}
+
+LipContext::PredAwaitable LipContext::pred(KvHandle kv,
+                                           std::vector<TokenId> tokens) {
+  StatusOr<uint64_t> length = runtime_->kvfs()->Length(kv);
+  if (!length.ok()) {
+    return PredAwaitable(runtime_, kv, {}, {}, length.status());
+  }
+  std::vector<int32_t> positions(tokens.size());
+  std::iota(positions.begin(), positions.end(), static_cast<int32_t>(*length));
+  return pred_at(kv, std::move(tokens), std::move(positions));
+}
+
+LipContext::PredAwaitable LipContext::pred1(KvHandle kv, TokenId token) {
+  return pred(kv, std::vector<TokenId>{token});
+}
+
+void LipContext::SleepAwaitable::await_suspend(std::coroutine_handle<> frame) {
+  runtime_->SetResumePoint(frame);
+  ThreadId self = runtime_->current_thread();
+  runtime_->BlockCurrent();
+  runtime_->simulator()->ScheduleAfter(duration_,
+                                       [rt = runtime_, self] { rt->Ready(self); });
+}
+
+}  // namespace symphony

@@ -1,0 +1,328 @@
+#include "src/runtime/runtime.h"
+
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/runtime/lip_context.h"
+
+namespace symphony {
+
+LipRuntime::LipRuntime(Simulator* sim, Kvfs* kvfs, RuntimeOptions options)
+    : sim_(sim), kvfs_(kvfs), options_(options) {
+  assert(sim != nullptr);
+  assert(kvfs != nullptr);
+  kvfs_->set_page_quota_hook([this](LipId lip) {
+    auto it = processes_.find(lip);
+    return it == processes_.end() ? UINT64_MAX : it->second.quota.max_kv_pages;
+  });
+}
+
+LipRuntime::~LipRuntime() {
+  // Destroy any still-suspended coroutine frames (e.g. a simulation stopped
+  // at a deadline with LIPs mid-flight).
+  for (auto& [id, tcb] : threads_) {
+    if (tcb.handle) {
+      tcb.handle.destroy();
+      tcb.handle = nullptr;
+    }
+  }
+}
+
+LipRuntime::Tcb& LipRuntime::GetTcb(ThreadId thread) {
+  auto it = threads_.find(thread);
+  assert(it != threads_.end());
+  return it->second;
+}
+
+LipRuntime::Process& LipRuntime::GetProcess(LipId lip) {
+  auto it = processes_.find(lip);
+  assert(it != processes_.end());
+  return it->second;
+}
+
+const LipRuntime::Process& LipRuntime::GetProcess(LipId lip) const {
+  auto it = processes_.find(lip);
+  assert(it != processes_.end());
+  return it->second;
+}
+
+LipId LipRuntime::Launch(std::string name, LipProgram program,
+                         std::function<void(LipId)> on_exit) {
+  LipId lip = next_lip_++;
+  Process& proc = processes_[lip];
+  proc.id = lip;
+  proc.name = std::move(name);
+  proc.context = std::make_unique<LipContext>(this, lip);
+  proc.rng = std::make_unique<Rng>(Mix64(options_.seed ^ (0x11b0000ULL + lip)));
+  proc.on_exit = std::move(on_exit);
+  proc.launch_time = sim_->now();
+  ++live_lips_;
+  ++stats_.lips_launched;
+  SpawnThread(lip, std::move(program));
+  return lip;
+}
+
+ThreadId LipRuntime::SpawnThread(LipId lip, LipProgram program) {
+  Process& proc = GetProcess(lip);
+  assert(!proc.done);
+  if (proc.usage.threads_spawned >= proc.quota.max_threads) {
+    SYMPHONY_LOG(kDebug) << "lip " << lip << " thread quota exhausted";
+    return 0;
+  }
+  ++proc.usage.threads_spawned;
+  ThreadId tid = next_thread_++;
+  Tcb& tcb = threads_[tid];
+  tcb.id = tid;
+  tcb.lip = lip;
+  tcb.state = ThreadState::kBlocked;  // Ready() flips it below.
+  tcb.program = std::move(program);
+  Task task = tcb.program(*proc.context);
+  tcb.handle = task.Release();
+  tcb.resume_point = tcb.handle;
+  ++proc.live_threads;
+  ++stats_.threads_spawned;
+  Ready(tid);
+  return tid;
+}
+
+void LipRuntime::BlockCurrent() {
+  assert(current_ != 0);
+  GetTcb(current_).state = ThreadState::kBlocked;
+}
+
+void LipRuntime::SetResumePoint(std::coroutine_handle<> frame) {
+  assert(current_ != 0);
+  GetTcb(current_).resume_point = frame;
+}
+
+void LipRuntime::Ready(ThreadId thread) {
+  Tcb& tcb = GetTcb(thread);
+  assert(tcb.state != ThreadState::kDone && "waking a finished thread");
+  if (tcb.state == ThreadState::kReady) {
+    return;  // A resume event is already pending.
+  }
+  tcb.state = ThreadState::kReady;
+  sim_->ScheduleAfter(options_.resume_overhead,
+                      [this, thread] { Resume(thread); });
+}
+
+void LipRuntime::WakeSoon(ThreadId thread) { Ready(thread); }
+
+void LipRuntime::Resume(ThreadId thread) {
+  Tcb& tcb = GetTcb(thread);
+  if (tcb.state != ThreadState::kReady) {
+    return;  // Stale event.
+  }
+  tcb.state = ThreadState::kRunning;
+  ThreadId prev = current_;
+  current_ = thread;
+  ++stats_.context_switches;
+  tcb.resume_point.resume();
+  current_ = prev;
+  if (tcb.handle.done()) {
+    OnThreadExit(tcb);
+  }
+}
+
+void LipRuntime::OnThreadExit(Tcb& tcb) {
+  tcb.state = ThreadState::kDone;
+  tcb.handle.destroy();
+  tcb.handle = nullptr;
+  tcb.program = nullptr;  // Frame destroyed; captures no longer referenced.
+  for (ThreadId joiner : tcb.joiners) {
+    Ready(joiner);
+  }
+  tcb.joiners.clear();
+
+  Process& proc = GetProcess(tcb.lip);
+  assert(proc.live_threads > 0);
+  --proc.live_threads;
+
+  // join_all waiters wake when only waiters remain alive.
+  if (!proc.join_all_waiters.empty() &&
+      proc.live_threads == proc.join_all_waiters.size()) {
+    std::vector<ThreadId> waiters = std::move(proc.join_all_waiters);
+    proc.join_all_waiters.clear();
+    for (ThreadId waiter : waiters) {
+      Ready(waiter);
+    }
+    return;
+  }
+
+  if (proc.live_threads == 0) {
+    // Process exit: release kernel resources the LIP left open.
+    for (KvHandle handle : proc.open_handles) {
+      Status st = kvfs_->Close(handle);
+      if (!st.ok()) {
+        SYMPHONY_LOG(kDebug) << "lip " << proc.id
+                             << " exit close failed: " << st.ToString();
+      }
+    }
+    proc.open_handles.clear();
+    proc.done = true;
+    --live_lips_;
+    ++stats_.lips_completed;
+    if (trace_ != nullptr) {
+      trace_->Span("lips", proc.name, proc.launch_time,
+                   sim_->now() - proc.launch_time);
+    }
+    if (proc.on_exit) {
+      // Run after the current dispatch completes so the callback sees a
+      // settled runtime state.
+      LipId lip = proc.id;
+      auto callback = proc.on_exit;
+      sim_->ScheduleAt(sim_->now(), [callback, lip] { callback(lip); });
+    }
+  }
+}
+
+bool LipRuntime::LipDone(LipId lip) const { return GetProcess(lip).done; }
+
+void LipRuntime::SetQuota(LipId lip, LipQuota quota) {
+  GetProcess(lip).quota = quota;
+}
+
+LipUsage LipRuntime::GetUsage(LipId lip) const {
+  LipUsage usage = GetProcess(lip).usage;
+  usage.kv_pages = kvfs_->OwnerPageRefs(lip);
+  return usage;
+}
+
+const std::string& LipRuntime::Output(LipId lip) const {
+  return GetProcess(lip).output;
+}
+
+void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
+                            std::vector<TokenId> tokens,
+                            std::vector<int32_t> positions, PredResult* result) {
+  BlockCurrent();
+  ++stats_.preds_submitted;
+  if (pred_service_ == nullptr) {
+    result->status = FailedPreconditionError("no inference service attached");
+    Ready(thread);
+    return;
+  }
+  Process& proc = GetProcess(GetTcb(thread).lip);
+  if (proc.usage.pred_tokens + tokens.size() > proc.quota.max_pred_tokens) {
+    result->status = QuotaExceededError("pred token quota exhausted for lip " +
+                                        std::to_string(proc.id));
+    Ready(thread);
+    return;
+  }
+  proc.usage.pred_tokens += tokens.size();
+  PredRequest request;
+  request.lip = GetTcb(thread).lip;
+  request.thread = thread;
+  request.kv = kv;
+  request.tokens = std::move(tokens);
+  request.positions = std::move(positions);
+  request.submit_time = sim_->now();
+  request.complete = [this, thread, result](PredResult r) {
+    *result = std::move(r);
+    Ready(thread);
+  };
+  pred_service_->Submit(std::move(request));
+}
+
+void LipRuntime::SubmitTool(ThreadId thread, const std::string& tool,
+                            const std::string& args, ToolResult* result) {
+  BlockCurrent();
+  ++stats_.tools_invoked;
+  if (tool_service_ == nullptr) {
+    result->status = FailedPreconditionError("no tool service attached");
+    Ready(thread);
+    return;
+  }
+  LipId lip = GetTcb(thread).lip;
+  Process& proc = GetProcess(lip);
+  if (proc.usage.tool_calls >= proc.quota.max_tool_calls) {
+    result->status = QuotaExceededError("tool call quota exhausted for lip " +
+                                        std::to_string(lip));
+    Ready(thread);
+    return;
+  }
+  ++proc.usage.tool_calls;
+  tool_service_->Invoke(lip, thread, tool, args,
+                        [this, thread, result](ToolResult r) {
+                          *result = std::move(r);
+                          Ready(thread);
+                        });
+}
+
+bool LipRuntime::ThreadDone(ThreadId thread) const {
+  auto it = threads_.find(thread);
+  return it == threads_.end() || it->second.state == ThreadState::kDone;
+}
+
+void LipRuntime::AddJoiner(ThreadId target, ThreadId waiter) {
+  auto it = threads_.find(target);
+  if (it == threads_.end() || it->second.state == ThreadState::kDone) {
+    Ready(waiter);
+    return;
+  }
+  it->second.joiners.push_back(waiter);
+}
+
+void LipRuntime::AddJoinAllWaiter(LipId lip, ThreadId waiter) {
+  Process& proc = GetProcess(lip);
+  proc.join_all_waiters.push_back(waiter);
+  if (proc.live_threads == proc.join_all_waiters.size()) {
+    std::vector<ThreadId> waiters = std::move(proc.join_all_waiters);
+    proc.join_all_waiters.clear();
+    for (ThreadId w : waiters) {
+      Ready(w);
+    }
+  }
+}
+
+void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
+  ++stats_.ipc_messages;
+  Channel& ch = channels_[channel];
+  if (!ch.waiters.empty()) {
+    auto [waiter, slot] = ch.waiters.front();
+    ch.waiters.pop_front();
+    *slot = std::move(message);
+    Ready(waiter);
+    return;
+  }
+  ch.messages.push_back(std::move(message));
+}
+
+bool LipRuntime::ChannelTryRecv(const std::string& channel, std::string* message) {
+  auto it = channels_.find(channel);
+  if (it == channels_.end() || it->second.messages.empty()) {
+    return false;
+  }
+  *message = std::move(it->second.messages.front());
+  it->second.messages.pop_front();
+  return true;
+}
+
+void LipRuntime::ChannelAddWaiter(const std::string& channel, ThreadId waiter,
+                                  std::string* slot) {
+  channels_[channel].waiters.emplace_back(waiter, slot);
+}
+
+void LipRuntime::Emit(LipId lip, std::string_view text) {
+  GetProcess(lip).output.append(text);
+}
+
+Rng& LipRuntime::LipRng(LipId lip) { return *GetProcess(lip).rng; }
+
+void LipRuntime::TrackHandle(LipId lip, KvHandle handle) {
+  GetProcess(lip).open_handles.push_back(handle);
+}
+
+void LipRuntime::UntrackHandle(LipId lip, KvHandle handle) {
+  auto& handles = GetProcess(lip).open_handles;
+  for (size_t i = 0; i < handles.size(); ++i) {
+    if (handles[i].slot == handle.slot && handles[i].generation == handle.generation) {
+      handles[i] = handles.back();
+      handles.pop_back();
+      return;
+    }
+  }
+}
+
+}  // namespace symphony

@@ -1,0 +1,220 @@
+// The LIP runtime: processes, threads, and the thread-level scheduler.
+//
+// LipRuntime plays the role of the OS process layer in the paper's design
+// (§4.3): a LIP is a process with one or more threads; threads block on
+// system calls (pred, tool I/O, IPC, sleep) and are resumed by the thread
+// scheduler in virtual time. The batch inference scheduler is a separate
+// component behind the PredService interface — together they form the
+// two-level scheduling scheme of §4.4.
+#ifndef SRC_RUNTIME_RUNTIME_H_
+#define SRC_RUNTIME_RUNTIME_H_
+
+#include <coroutine>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <memory>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/kvfs/kvfs.h"
+#include "src/model/tokenizer.h"
+#include "src/runtime/pred_service.h"
+#include "src/runtime/task.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/trace.h"
+
+namespace symphony {
+
+class LipContext;
+using LipProgram = std::function<Task(LipContext&)>;
+
+enum class ThreadState : uint8_t {
+  kReady,
+  kRunning,
+  kBlocked,
+  kDone,
+};
+
+struct RuntimeOptions {
+  // CPU cost charged per thread resume (context switch).
+  SimDuration resume_overhead = Micros(2);
+  uint64_t seed = 42;
+};
+
+// Per-LIP resource limits (paper §6: "resource accounting" for untrusted
+// programs). Defaults are unlimited; the admin LIP is never limited.
+struct LipQuota {
+  uint64_t max_pred_tokens = UINT64_MAX;  // Total tokens across all preds.
+  uint64_t max_tool_calls = UINT64_MAX;
+  uint32_t max_threads = UINT32_MAX;      // Threads spawned over the lifetime.
+  uint64_t max_kv_pages = UINT64_MAX;     // Page references held in KVFS.
+};
+
+struct LipUsage {
+  uint64_t pred_tokens = 0;
+  uint64_t tool_calls = 0;
+  uint32_t threads_spawned = 0;
+  uint64_t kv_pages = 0;
+};
+
+struct RuntimeStats {
+  uint64_t lips_launched = 0;
+  uint64_t lips_completed = 0;
+  uint64_t threads_spawned = 0;
+  uint64_t context_switches = 0;
+  uint64_t preds_submitted = 0;
+  uint64_t tools_invoked = 0;
+  uint64_t ipc_messages = 0;
+};
+
+class LipRuntime {
+ public:
+  LipRuntime(Simulator* sim, Kvfs* kvfs, RuntimeOptions options = {});
+  ~LipRuntime();
+
+  LipRuntime(const LipRuntime&) = delete;
+  LipRuntime& operator=(const LipRuntime&) = delete;
+
+  // Wiring; must be set before Launch for programs that use pred/tools.
+  void set_pred_service(PredService* service) { pred_service_ = service; }
+  void set_tool_service(ToolService* service) { tool_service_ = service; }
+  void set_tokenizer(const Tokenizer* tokenizer) { tokenizer_ = tokenizer; }
+  // Optional tracing: one span per LIP lifetime on track "lips".
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Starts a new LIP. The program begins running in virtual time on the next
+  // simulator dispatch. on_exit fires when the LIP's last thread finishes.
+  LipId Launch(std::string name, LipProgram program,
+               std::function<void(LipId)> on_exit = nullptr);
+
+  bool LipDone(LipId lip) const;
+  size_t live_lips() const { return live_lips_; }
+
+  // Resource accounting (§6). Quotas may be set any time; enforcement is at
+  // the system-call boundary from then on.
+  void SetQuota(LipId lip, LipQuota quota);
+  LipUsage GetUsage(LipId lip) const;
+
+  // Text emitted by the LIP via LipContext::emit.
+  const std::string& Output(LipId lip) const;
+
+  const RuntimeStats& stats() const { return stats_; }
+  Simulator* simulator() { return sim_; }
+  Kvfs* kvfs() { return kvfs_; }
+  const Tokenizer* tokenizer() const { return tokenizer_; }
+
+  // ---- Internal surface used by LipContext and its awaitables ----------
+
+  ThreadId current_thread() const { return current_; }
+
+  // Spawns a thread in `lip` running `program`; returns its id, or 0 when
+  // the LIP's thread quota is exhausted (joining id 0 is a no-op).
+  ThreadId SpawnThread(LipId lip, LipProgram program);
+
+  // Marks the current thread blocked (called from await_suspend).
+  void BlockCurrent();
+
+  // Records the coroutine frame to resume when the current thread next
+  // wakes. Awaitables call this from await_suspend with their own handle so
+  // that wake-ups resume the actual suspended frame (which may be a child
+  // Task deep in a co_await chain, not the thread's top-level coroutine).
+  void SetResumePoint(std::coroutine_handle<> frame);
+
+  // Makes `thread` runnable; it resumes after resume_overhead.
+  void Ready(ThreadId thread);
+
+  // Schedules a wake of `thread` at now (used for error completions so the
+  // caller never resumes a coroutine from inside await_suspend).
+  void WakeSoon(ThreadId thread);
+
+  // pred syscall plumbing. The completion callback writes into `result`
+  // (which lives in the suspended coroutine frame) and wakes the thread.
+  void SubmitPred(ThreadId thread, KvHandle kv, std::vector<TokenId> tokens,
+                  std::vector<int32_t> positions, PredResult* result);
+
+  // Tool-call plumbing.
+  void SubmitTool(ThreadId thread, const std::string& tool, const std::string& args,
+                  ToolResult* result);
+
+  // Join bookkeeping.
+  bool ThreadDone(ThreadId thread) const;
+  void AddJoiner(ThreadId target, ThreadId waiter);
+  void AddJoinAllWaiter(LipId lip, ThreadId waiter);
+
+  // IPC channels (named, unbounded, FIFO).
+  void ChannelSend(const std::string& channel, std::string message);
+  bool ChannelTryRecv(const std::string& channel, std::string* message);
+  void ChannelAddWaiter(const std::string& channel, ThreadId waiter,
+                        std::string* slot);
+
+  void Emit(LipId lip, std::string_view text);
+  Rng& LipRng(LipId lip);
+  void TrackHandle(LipId lip, KvHandle handle);
+  void UntrackHandle(LipId lip, KvHandle handle);
+
+ private:
+  struct Tcb {
+    ThreadId id = 0;
+    LipId lip = kNoLip;
+    ThreadState state = ThreadState::kReady;
+    std::coroutine_handle<Task::promise_type> handle;
+    // The frame to resume at the next wake-up (innermost suspended frame).
+    std::coroutine_handle<> resume_point;
+    std::vector<ThreadId> joiners;
+    // Keeps the program callable alive for the coroutine's lifetime: a
+    // lambda coroutine's captures live in the lambda object, not the frame.
+    LipProgram program;
+  };
+
+  struct Process {
+    LipId id = kNoLip;
+    std::string name;
+    std::unique_ptr<LipContext> context;
+    std::unique_ptr<Rng> rng;
+    uint32_t live_threads = 0;
+    std::vector<ThreadId> join_all_waiters;
+    std::vector<KvHandle> open_handles;
+    std::string output;
+    std::function<void(LipId)> on_exit;
+    bool done = false;
+    LipQuota quota;
+    LipUsage usage;
+    SimTime launch_time = 0;
+  };
+
+  struct Channel {
+    std::deque<std::string> messages;
+    std::deque<std::pair<ThreadId, std::string*>> waiters;
+  };
+
+  void Resume(ThreadId thread);
+  void OnThreadExit(Tcb& tcb);
+  Tcb& GetTcb(ThreadId thread);
+  Process& GetProcess(LipId lip);
+  const Process& GetProcess(LipId lip) const;
+
+  Simulator* sim_;
+  Kvfs* kvfs_;
+  RuntimeOptions options_;
+  PredService* pred_service_ = nullptr;
+  ToolService* tool_service_ = nullptr;
+  const Tokenizer* tokenizer_ = nullptr;
+  TraceRecorder* trace_ = nullptr;
+
+  std::unordered_map<ThreadId, Tcb> threads_;
+  std::unordered_map<LipId, Process> processes_;
+  std::unordered_map<std::string, Channel> channels_;
+  ThreadId next_thread_ = 1;
+  LipId next_lip_ = kAdminLip + 1;
+  ThreadId current_ = 0;
+  size_t live_lips_ = 0;
+  RuntimeStats stats_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_RUNTIME_RUNTIME_H_

@@ -1,0 +1,161 @@
+// Coroutine task type for LIP threads and their subroutines.
+//
+// A LIP thread is a tree of coroutines rooted at one top-level Task. The
+// paper frames LIP threads as POSIX threads; Symphony's simulation realizes
+// them as coroutines driven by the thread scheduler (the paper's §6
+// explicitly blesses coroutine runtimes as an alternative realization).
+//
+// Tasks never run eagerly: initial_suspend is suspend_always, so either the
+// scheduler (top-level) or a co_await (subroutine) controls the first resume.
+// A Task is itself awaitable: `co_await SomeTaskReturningFn(...)` starts the
+// child by symmetric transfer and resumes the parent when the child's
+// final_suspend fires. A top-level Task has no continuation; its final
+// suspend parks the frame so the runtime can observe handle.done() and reap.
+#ifndef SRC_RUNTIME_TASK_H_
+#define SRC_RUNTIME_TASK_H_
+
+#include <coroutine>
+#include <cstdlib>
+#include <optional>
+#include <utility>
+
+namespace symphony {
+
+class Task {
+ public:
+  struct promise_type {
+    Task get_return_object() {
+      return Task(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        std::coroutine_handle<> continuation = handle.promise().continuation;
+        return continuation ? continuation : std::noop_coroutine();
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_void() {}
+    // Symphony is exception-free by policy; an escaping exception in a LIP is
+    // a programming error, not a recoverable condition.
+    void unhandled_exception() { std::abort(); }
+
+    // Parent coroutine to resume when this task completes (null at top level).
+    std::coroutine_handle<> continuation;
+  };
+
+  // Awaitable interface: start the child, resume the parent on completion.
+  bool await_ready() const { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;  // Symmetric transfer into the child.
+  }
+  void await_resume() {}
+
+  Task() = default;
+  explicit Task(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  Task(const Task&) = delete;
+  Task& operator=(const Task&) = delete;
+  Task(Task&& other) noexcept : handle_(std::exchange(other.handle_, nullptr)) {}
+  Task& operator=(Task&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~Task() { Destroy(); }
+
+  std::coroutine_handle<promise_type> handle() const { return handle_; }
+  bool valid() const { return handle_ != nullptr; }
+
+  // Transfers frame ownership to the caller (the runtime's TCB).
+  std::coroutine_handle<promise_type> Release() {
+    return std::exchange(handle_, nullptr);
+  }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+// A value-returning awaitable subroutine: `T v = co_await SomeValueTask(...)`.
+// Unlike Task, a ValueTask cannot be a thread's top-level coroutine — it is
+// always awaited by a parent, which it resumes on completion by symmetric
+// transfer. Used by the LIP standard library (src/liplib) to compose
+// generation strategies out of smaller pieces.
+template <typename T>
+class ValueTask {
+ public:
+  struct promise_type {
+    ValueTask get_return_object() {
+      return ValueTask(std::coroutine_handle<promise_type>::from_promise(*this));
+    }
+    std::suspend_always initial_suspend() noexcept { return {}; }
+
+    struct FinalAwaiter {
+      bool await_ready() noexcept { return false; }
+      std::coroutine_handle<> await_suspend(
+          std::coroutine_handle<promise_type> handle) noexcept {
+        return handle.promise().continuation;
+      }
+      void await_resume() noexcept {}
+    };
+    FinalAwaiter final_suspend() noexcept { return {}; }
+
+    void return_value(T v) { value.emplace(std::move(v)); }
+    void unhandled_exception() { std::abort(); }
+
+    std::coroutine_handle<> continuation;
+    std::optional<T> value;
+  };
+
+  ValueTask() = default;
+  explicit ValueTask(std::coroutine_handle<promise_type> handle) : handle_(handle) {}
+
+  ValueTask(const ValueTask&) = delete;
+  ValueTask& operator=(const ValueTask&) = delete;
+  ValueTask(ValueTask&& other) noexcept
+      : handle_(std::exchange(other.handle_, nullptr)) {}
+  ValueTask& operator=(ValueTask&& other) noexcept {
+    if (this != &other) {
+      Destroy();
+      handle_ = std::exchange(other.handle_, nullptr);
+    }
+    return *this;
+  }
+  ~ValueTask() { Destroy(); }
+
+  bool await_ready() const { return !handle_ || handle_.done(); }
+  std::coroutine_handle<> await_suspend(std::coroutine_handle<> parent) {
+    handle_.promise().continuation = parent;
+    return handle_;
+  }
+  T await_resume() { return std::move(*handle_.promise().value); }
+
+ private:
+  void Destroy() {
+    if (handle_) {
+      handle_.destroy();
+      handle_ = nullptr;
+    }
+  }
+
+  std::coroutine_handle<promise_type> handle_ = nullptr;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_RUNTIME_TASK_H_

@@ -1,0 +1,249 @@
+#include "src/sched/inference_scheduler.h"
+
+#include <algorithm>
+#include <cassert>
+#include <cstddef>
+#include <memory>
+#include <utility>
+
+#include "src/common/logging.h"
+
+namespace symphony {
+
+InferenceScheduler::InferenceScheduler(Simulator* sim, Kvfs* kvfs,
+                                       const Model* model, Device* device,
+                                       std::unique_ptr<BatchPolicy> policy,
+                                       InferenceSchedulerOptions options)
+    : sim_(sim),
+      kvfs_(kvfs),
+      model_(model),
+      device_(device),
+      policy_(std::move(policy)),
+      options_(options) {
+  assert(policy_ != nullptr);
+}
+
+StatusOr<uint64_t> InferenceScheduler::Validate(const PredRequest& request) {
+  SYMPHONY_ASSIGN_OR_RETURN(uint64_t length, kvfs_->Length(request.kv));
+  for (size_t i = 0; i < request.positions.size(); ++i) {
+    int64_t expected = static_cast<int64_t>(length) + static_cast<int64_t>(i);
+    if (request.positions[i] != expected) {
+      return InvalidArgumentError(
+          "pred positions must continue the kv file (expected " +
+          std::to_string(expected) + ", got " +
+          std::to_string(request.positions[i]) + ")");
+    }
+  }
+  return length;
+}
+
+void InferenceScheduler::Submit(PredRequest request) {
+  ++stats_.submitted;
+  SimTime now = sim_->now();
+  if (last_submit_ > 0) {
+    double gap_s = std::max(ToSeconds(now - last_submit_), 1e-6);
+    double inst_rate = 1.0 / gap_s;
+    rate_per_sec_ = rate_per_sec_ == 0.0
+                        ? inst_rate
+                        : (1.0 - options_.rate_ewma_alpha) * rate_per_sec_ +
+                              options_.rate_ewma_alpha * inst_rate;
+  }
+  last_submit_ = now;
+  queue_.push_back(std::move(request));
+  MaybeLaunch();
+}
+
+void InferenceScheduler::MaybeLaunch() {
+  if (recheck_event_ != 0) {
+    sim_->Cancel(recheck_event_);
+    recheck_event_ = 0;
+  }
+  if (device_->busy() || queue_.empty()) {
+    return;
+  }
+  if (sim_->now() < next_launch_time_) {
+    // Batch-formation window after a completion: wait for just-woken threads
+    // to resubmit before launching.
+    recheck_event_ = sim_->ScheduleAt(next_launch_time_, [this] {
+      recheck_event_ = 0;
+      MaybeLaunch();
+    });
+    return;
+  }
+
+  // Build the prospective batch profile for the policy.
+  std::vector<WorkItem> items;
+  items.reserve(std::min(queue_.size(), options_.max_batch_requests));
+  uint64_t total_tokens = 0;
+  for (const PredRequest& request : queue_) {
+    if (items.size() >= options_.max_batch_requests ||
+        total_tokens >= options_.max_batch_tokens) {
+      break;
+    }
+    StatusOr<uint64_t> length = kvfs_->Length(request.kv);
+    uint64_t context = length.ok() ? *length : 0;
+    items.push_back(WorkItem{request.tokens.size(), context});
+    total_tokens += request.tokens.size();
+  }
+
+  BatchPolicyInput input;
+  input.queue_size = queue_.size();
+  input.oldest_wait = sim_->now() - queue_.front().submit_time;
+  input.arrival_rate_per_sec = rate_per_sec_;
+  input.est_batch_time = device_->EstimateTime(items, 0);
+  input.max_batch = options_.max_batch_requests;
+
+  BatchDecision decision = policy_->ShouldLaunch(input);
+  if (decision.launch) {
+    LaunchBatch();
+    return;
+  }
+  SimDuration delay = std::max<SimDuration>(decision.recheck_after, Micros(10));
+  recheck_event_ = sim_->ScheduleAfter(delay, [this] {
+    recheck_event_ = 0;
+    MaybeLaunch();
+  });
+}
+
+// Picks the next request index under the active discipline: FIFO takes the
+// head; fair share takes the oldest request among LIPs with the fewest picks
+// so far this batch.
+size_t InferenceScheduler::PickNext(
+    const std::unordered_map<LipId, uint32_t>& taken) const {
+  if (options_.discipline == QueueDiscipline::kFifo) {
+    return 0;
+  }
+  size_t best = 0;
+  uint32_t best_count = UINT32_MAX;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    auto it = taken.find(queue_[i].lip);
+    uint32_t count = it == taken.end() ? 0 : it->second;
+    if (count < best_count) {
+      best = i;
+      best_count = count;
+      if (count == 0) {
+        break;  // Arrival order among zero-count LIPs.
+      }
+    }
+  }
+  return best;
+}
+
+void InferenceScheduler::LaunchBatch() {
+  auto batch = std::make_shared<std::vector<PredRequest>>();
+  std::vector<WorkItem> items;
+  uint64_t total_tokens = 0;
+  std::unordered_map<LipId, uint32_t> taken;
+
+  while (!queue_.empty() && batch->size() < options_.max_batch_requests &&
+         total_tokens < options_.max_batch_tokens) {
+    size_t pick = PickNext(taken);
+    PredRequest request = std::move(queue_[pick]);
+    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
+    ++taken[request.lip];
+    StatusOr<uint64_t> context = Validate(request);
+    if (!context.ok()) {
+      ++stats_.failed;
+      request.complete(PredResult{context.status(), {}});
+      continue;
+    }
+    // Bring the file fully on-device; the implied PCIe traffic is charged to
+    // this batch below.
+    Status restore = kvfs_->RestoreToGpu(request.kv);
+    if (!restore.ok()) {
+      if (restore.code() == StatusCode::kResourceExhausted) {
+        (void)RequeueForMemory(request, restore);
+      } else {
+        ++stats_.failed;
+        request.complete(PredResult{restore, {}});
+      }
+      continue;
+    }
+    queue_waits_ms_.Add(ToMillis(sim_->now() - request.submit_time));
+    items.push_back(WorkItem{request.tokens.size(), *context});
+    total_tokens += request.tokens.size();
+    batch->push_back(std::move(request));
+  }
+
+  if (batch->empty()) {
+    // Everything in this round failed validation; look again.
+    MaybeLaunch();
+    return;
+  }
+
+  uint64_t transfer_bytes = kvfs_->TakePendingTransferBytes();
+  ++stats_.batches;
+  device_->Execute(std::move(items), transfer_bytes, [this, batch] {
+    next_launch_time_ = sim_->now() + options_.formation_delay;
+    for (PredRequest& request : *batch) {
+      CompleteRequest(request);
+    }
+    MaybeLaunch();
+  });
+}
+
+bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& why) {
+  if (request.memory_retries >= options_.max_memory_retries) {
+    ++stats_.failed;
+    request.complete(PredResult{why, {}});
+    return false;
+  }
+  ++request.memory_retries;
+  ++stats_.memory_requeues;
+  auto retry = std::make_shared<PredRequest>(std::move(request));
+  sim_->ScheduleAfter(options_.memory_retry_backoff, [this, retry] {
+    queue_.push_back(std::move(*retry));
+    MaybeLaunch();
+  });
+  return true;
+}
+
+void InferenceScheduler::CompleteRequest(PredRequest& request) {
+  // Re-validate: another LIP may have appended to a shared file while this
+  // batch was executing.
+  StatusOr<uint64_t> length = Validate(request);
+  if (!length.ok()) {
+    ++stats_.failed;
+    request.complete(PredResult{length.status(), {}});
+    return;
+  }
+
+  HiddenState state;
+  if (*length == 0) {
+    state = model_->InitialState();
+  } else {
+    StatusOr<HiddenState> tail = kvfs_->TailState(request.kv);
+    if (!tail.ok()) {
+      ++stats_.failed;
+      request.complete(PredResult{tail.status(), {}});
+      return;
+    }
+    state = *tail;
+  }
+
+  std::vector<TokenRecord> records;
+  records.reserve(request.tokens.size());
+  PredResult result;
+  result.dists.reserve(request.tokens.size());
+  for (size_t i = 0; i < request.tokens.size(); ++i) {
+    state = model_->Advance(state, request.tokens[i], request.positions[i]);
+    records.push_back(TokenRecord{request.tokens[i], request.positions[i], state});
+    result.dists.push_back(model_->Predict(state));
+  }
+
+  Status append = kvfs_->Append(request.kv, records);
+  if (!append.ok()) {
+    if (append.code() == StatusCode::kResourceExhausted) {
+      (void)RequeueForMemory(request, append);
+      return;
+    }
+    ++stats_.failed;
+    request.complete(PredResult{append, {}});
+    return;
+  }
+  ++stats_.completed;
+  result.status = Status::Ok();
+  request.complete(std::move(result));
+}
+
+}  // namespace symphony

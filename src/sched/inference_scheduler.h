@@ -1,0 +1,104 @@
+// The batch inference scheduler: the second level of §4.4's scheme.
+//
+// Aggregates pred system calls from all LIP threads into GPU batches. On
+// launch it validates each request (handle rights, strict position
+// continuation), restores KV residency (charging PCIe traffic), and sizes the
+// work; at batch completion it re-validates, materializes new TokenRecords
+// into the KV files, and delivers next-token distributions to the blocked
+// threads. Batch timing is delegated to a pluggable BatchPolicy.
+#ifndef SRC_SCHED_INFERENCE_SCHEDULER_H_
+#define SRC_SCHED_INFERENCE_SCHEDULER_H_
+
+#include <deque>
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "src/gpu/device.h"
+#include "src/kvfs/kvfs.h"
+#include "src/model/model.h"
+#include "src/runtime/pred_service.h"
+#include "src/sched/batch_policy.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/stats.h"
+
+namespace symphony {
+
+// How queued pred requests are picked into a batch.
+enum class QueueDiscipline {
+  kFifo,       // Strict arrival order.
+  kFairShare,  // Round-robin across LIPs: a LIP flooding the queue cannot
+               // starve others (paper §6, multi-tenant fairness).
+};
+
+struct InferenceSchedulerOptions {
+  QueueDiscipline discipline = QueueDiscipline::kFifo;
+  size_t max_batch_requests = 32;
+  // Cap on total new tokens per batch so giant prefills don't head-of-line
+  // block an entire round.
+  uint64_t max_batch_tokens = 16384;
+  // EWMA smoothing for the arrival-rate estimate.
+  double rate_ewma_alpha = 0.2;
+  // Pause after a batch completes before launching the next one, so threads
+  // woken by the completed batch can resubmit and join it. Without this the
+  // client population splits into two alternating half-sized batches.
+  SimDuration formation_delay = Micros(100);
+  // Preemption-style handling of device-memory exhaustion: a request whose
+  // KV cannot be restored/appended is requeued after a backoff instead of
+  // failing, up to this many attempts. Memory freed by completing or
+  // offloaded LIPs lets it proceed later.
+  uint32_t max_memory_retries = 500;
+  SimDuration memory_retry_backoff = Millis(20);
+};
+
+struct InferenceSchedulerStats {
+  uint64_t submitted = 0;
+  uint64_t completed = 0;
+  uint64_t failed = 0;
+  uint64_t batches = 0;
+  uint64_t memory_requeues = 0;
+};
+
+class InferenceScheduler : public PredService {
+ public:
+  InferenceScheduler(Simulator* sim, Kvfs* kvfs, const Model* model,
+                     Device* device, std::unique_ptr<BatchPolicy> policy,
+                     InferenceSchedulerOptions options = {});
+
+  void Submit(PredRequest request) override;
+
+  const InferenceSchedulerStats& stats() const { return stats_; }
+  const SampleSeries& queue_waits_ms() const { return queue_waits_ms_; }
+  double arrival_rate_per_sec() const { return rate_per_sec_; }
+  size_t queue_depth() const { return queue_.size(); }
+
+ private:
+  void MaybeLaunch();
+  void LaunchBatch();
+  size_t PickNext(const std::unordered_map<LipId, uint32_t>& taken) const;
+  void CompleteRequest(PredRequest& request);
+  // Requeues a memory-starved request after a backoff; returns false (and
+  // fails the request) once the retry budget is exhausted.
+  bool RequeueForMemory(PredRequest& request, const Status& why);
+  // Validates rights + continuation; returns the context length on success.
+  StatusOr<uint64_t> Validate(const PredRequest& request);
+
+  Simulator* sim_;
+  Kvfs* kvfs_;
+  const Model* model_;
+  Device* device_;
+  std::unique_ptr<BatchPolicy> policy_;
+  InferenceSchedulerOptions options_;
+
+  std::deque<PredRequest> queue_;
+  Simulator::EventId recheck_event_ = 0;
+  SimTime next_launch_time_ = 0;
+  SimTime last_submit_ = 0;
+  double rate_per_sec_ = 0.0;
+  InferenceSchedulerStats stats_;
+  SampleSeries queue_waits_ms_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_SCHED_INFERENCE_SCHEDULER_H_

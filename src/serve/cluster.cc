@@ -1,0 +1,94 @@
+#include "src/serve/cluster.h"
+
+#include <cassert>
+
+#include "src/common/hash.h"
+
+namespace symphony {
+
+SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
+    : options_(std::move(options)) {
+  assert(options_.replicas > 0);
+  replicas_.reserve(options_.replicas);
+  for (size_t i = 0; i < options_.replicas; ++i) {
+    ServerOptions server_options = options_.server;
+    // Decorrelate per-replica randomness (tool latencies etc.).
+    server_options.runtime.seed = options_.server.runtime.seed + i * 7919;
+    server_options.tool_seed = options_.server.tool_seed + i * 104729;
+    replicas_.push_back(std::make_unique<SymphonyServer>(sim, server_options));
+  }
+  launched_per_replica_.assign(options_.replicas, 0);
+}
+
+size_t SymphonyCluster::LeastLoaded() const {
+  size_t best = 0;
+  size_t best_load = replicas_[0]->runtime().live_lips();
+  for (size_t i = 1; i < replicas_.size(); ++i) {
+    size_t load = replicas_[i]->runtime().live_lips();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
+  switch (options_.routing) {
+    case RoutingPolicy::kRoundRobin: {
+      size_t replica = next_round_robin_;
+      next_round_robin_ = (next_round_robin_ + 1) % replicas_.size();
+      return replica;
+    }
+    case RoutingPolicy::kLeastLoaded:
+      return LeastLoaded();
+    case RoutingPolicy::kCacheAffinity:
+      if (affinity_key.empty()) {
+        return LeastLoaded();
+      }
+      return static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size());
+    case RoutingPolicy::kAffinityBounded: {
+      if (affinity_key.empty()) {
+        return LeastLoaded();
+      }
+      size_t preferred =
+          static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size());
+      size_t total_live = 0;
+      for (const std::unique_ptr<SymphonyServer>& replica : replicas_) {
+        total_live += replica->runtime().live_lips();
+      }
+      double average = static_cast<double>(total_live + 1) /
+                       static_cast<double>(replicas_.size());
+      double bound = options_.load_factor * average;
+      if (static_cast<double>(replicas_[preferred]->runtime().live_lips() + 1) <=
+          bound) {
+        return preferred;
+      }
+      return LeastLoaded();
+    }
+  }
+  return 0;
+}
+
+SymphonyCluster::ClusterLip SymphonyCluster::Launch(
+    std::string name, const std::string& affinity_key, LipProgram program,
+    std::function<void(LipId)> on_exit) {
+  size_t replica = RouteFor(affinity_key);
+  ++launched_per_replica_[replica];
+  LipId lip = replicas_[replica]->Launch(std::move(name), std::move(program),
+                                         std::move(on_exit));
+  return ClusterLip{replica, lip};
+}
+
+SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
+  ClusterSnapshot snap;
+  snap.lips_per_replica = launched_per_replica_;
+  for (const std::unique_ptr<SymphonyServer>& replica : replicas_) {
+    snap.total_throughput_busy += replica->device().Utilization();
+    snap.batches += replica->device().stats().batches;
+    snap.lips_completed += replica->runtime().stats().lips_completed;
+  }
+  return snap;
+}
+
+}  // namespace symphony

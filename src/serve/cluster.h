@@ -1,0 +1,90 @@
+// SymphonyCluster: data-parallel multi-GPU serving (paper §4.4 "schedules
+// this batch on the GPU(s)").
+//
+// Each replica is a complete SymphonyServer (own device, KVFS namespace,
+// schedulers) over the same virtual clock; a router places each incoming LIP
+// on a replica. Because KV files live in a replica's namespace, placement
+// policy determines cache locality:
+//   * kRoundRobin     — classic load spreading; a topic's requests scatter,
+//                       so every replica ends up caching every hot document.
+//   * kLeastLoaded    — place on the replica with the fewest live LIPs.
+//   * kCacheAffinity  — hash an application-provided affinity key (e.g. the
+//                       RAG topic) so same-key LIPs share a replica and its
+//                       named KV files.
+#ifndef SRC_SERVE_CLUSTER_H_
+#define SRC_SERVE_CLUSTER_H_
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/serve/server.h"
+
+namespace symphony {
+
+enum class RoutingPolicy {
+  kRoundRobin,
+  kLeastLoaded,
+  kCacheAffinity,
+  // Bounded-load consistent hashing: prefer the affinity replica unless its
+  // live-LIP load exceeds load_factor x the cluster average, then overflow
+  // to the least-loaded replica. Keeps locality without letting a hot key
+  // saturate one replica (the failure mode of pure affinity under skew).
+  kAffinityBounded,
+};
+
+struct ClusterOptions {
+  size_t replicas = 2;
+  RoutingPolicy routing = RoutingPolicy::kRoundRobin;
+  // kAffinityBounded overflow threshold (x cluster-average load).
+  double load_factor = 1.25;
+  ServerOptions server;
+};
+
+class SymphonyCluster {
+ public:
+  SymphonyCluster(Simulator* sim, ClusterOptions options);
+
+  SymphonyCluster(const SymphonyCluster&) = delete;
+  SymphonyCluster& operator=(const SymphonyCluster&) = delete;
+
+  // A LIP's cluster-wide identity.
+  struct ClusterLip {
+    size_t replica = 0;
+    LipId lip = kNoLip;
+  };
+
+  // Routes and launches. `affinity_key` feeds kCacheAffinity (ignored by the
+  // other policies; an empty key falls back to least-loaded).
+  ClusterLip Launch(std::string name, const std::string& affinity_key,
+                    LipProgram program,
+                    std::function<void(LipId)> on_exit = nullptr);
+
+  // The replica the router would pick for `affinity_key` right now.
+  size_t RouteFor(const std::string& affinity_key) const;
+
+  size_t replica_count() const { return replicas_.size(); }
+  SymphonyServer& replica(size_t index) { return *replicas_[index]; }
+  const ClusterOptions& options() const { return options_; }
+
+  // Cluster-wide aggregates.
+  struct ClusterSnapshot {
+    double total_throughput_busy = 0.0;  // Sum of device busy fractions.
+    uint64_t batches = 0;
+    uint64_t lips_completed = 0;
+    std::vector<uint64_t> lips_per_replica;
+  };
+  ClusterSnapshot Snapshot() const;
+
+ private:
+  size_t LeastLoaded() const;
+
+  ClusterOptions options_;
+  std::vector<std::unique_ptr<SymphonyServer>> replicas_;
+  mutable size_t next_round_robin_ = 0;
+  std::vector<uint64_t> launched_per_replica_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_SERVE_CLUSTER_H_

@@ -1,0 +1,134 @@
+#include "src/serve/server.h"
+
+#include <utility>
+
+namespace symphony {
+
+namespace {
+
+std::unique_ptr<BatchPolicy> MakePolicy(const ServerOptions& options) {
+  switch (options.batch_policy) {
+    case BatchPolicyKind::kEager:
+      return std::make_unique<EagerPolicy>();
+    case BatchPolicyKind::kSizeTimeout:
+      return std::make_unique<SizeTimeoutPolicy>(options.batch_target_size,
+                                                 options.batch_timeout);
+    case BatchPolicyKind::kPoissonAdaptive:
+      return std::make_unique<PoissonAdaptivePolicy>(options.batch_max_wait);
+  }
+  return std::make_unique<EagerPolicy>();
+}
+
+KvfsOptions MakeKvfsOptions(const ServerOptions& options, Simulator* sim,
+                            const CostModel& cost) {
+  KvfsOptions kv;
+  uint64_t page_bytes =
+      static_cast<uint64_t>(kPageTokens) * options.model.KvBytesPerToken();
+  kv.gpu_page_budget = cost.DeviceKvBudgetBytes() / page_bytes;
+  kv.host_page_budget = options.hardware.host_bytes / page_bytes;
+  kv.eviction = options.eviction;
+  kv.clock = [sim] { return sim->now(); };
+  return kv;
+}
+
+}  // namespace
+
+// Executes tools from the registry; while a LIP waits out a slow call, its
+// KV files are offloaded to host memory (§4.3) and restored lazily by the
+// next pred.
+class SymphonyServer::ServerToolService : public ToolService {
+ public:
+  ServerToolService(SymphonyServer* server) : server_(server) {}
+
+  void Invoke(LipId lip, ThreadId thread, const std::string& tool,
+              const std::string& args,
+              std::function<void(ToolResult)> complete) override {
+    (void)thread;
+    StatusOr<ToolInvocation> run = server_->tools_->Run(tool, args);
+    if (!run.ok()) {
+      // Deliver the error after a scheduler turn, never synchronously.
+      server_->sim_->ScheduleAt(server_->sim_->now(),
+                                [complete = std::move(complete), st = run.status()] {
+                                  complete(ToolResult{st, ""});
+                                });
+      return;
+    }
+    const ServerOptions& options = server_->options_;
+    if (options.offload_kv_on_tool_io &&
+        run->latency >= options.min_io_for_offload) {
+      server_->kvfs_->OffloadOwnedBy(lip);
+    }
+    ToolInvocation invocation = std::move(*run);
+    if (server_->options_.trace != nullptr) {
+      server_->options_.trace->Span("tools", tool, server_->sim_->now(),
+                                    invocation.latency);
+    }
+    server_->sim_->ScheduleAfter(
+        invocation.latency,
+        [complete = std::move(complete), invocation = std::move(invocation)] {
+          complete(ToolResult{invocation.status, invocation.output});
+        });
+  }
+
+ private:
+  SymphonyServer* server_;
+};
+
+SymphonyServer::SymphonyServer(Simulator* sim, ServerOptions options)
+    : sim_(sim), options_(std::move(options)) {
+  CostModel cost(options_.model, options_.hardware);
+  model_ = std::make_unique<Model>(options_.model);
+  tokenizer_ = std::make_unique<Tokenizer>(options_.model.vocab_size);
+  kvfs_ = std::make_unique<Kvfs>(MakeKvfsOptions(options_, sim_, cost));
+  kvfs_->set_bytes_per_page(static_cast<uint64_t>(kPageTokens) *
+                            options_.model.KvBytesPerToken());
+  device_ = std::make_unique<Device>(sim_, cost);
+  scheduler_ = std::make_unique<InferenceScheduler>(
+      sim_, kvfs_.get(), model_.get(), device_.get(), MakePolicy(options_),
+      options_.scheduler);
+  tools_ = std::make_unique<ToolRegistry>(options_.tool_seed);
+  tool_service_ = std::make_unique<ServerToolService>(this);
+  runtime_ = std::make_unique<LipRuntime>(sim_, kvfs_.get(), options_.runtime);
+  runtime_->set_pred_service(scheduler_.get());
+  runtime_->set_tool_service(tool_service_.get());
+  runtime_->set_tokenizer(tokenizer_.get());
+  if (options_.trace != nullptr) {
+    device_->set_trace(options_.trace);
+    runtime_->set_trace(options_.trace);
+  }
+}
+
+SymphonyServer::~SymphonyServer() = default;
+
+LipId SymphonyServer::Launch(std::string name, LipProgram program,
+                             std::function<void(LipId)> on_exit) {
+  return runtime_->Launch(std::move(name), std::move(program), std::move(on_exit));
+}
+
+LipId SymphonyServer::LaunchWithQuota(std::string name, LipQuota quota,
+                                      LipProgram program,
+                                      std::function<void(LipId)> on_exit) {
+  LipId lip =
+      runtime_->Launch(std::move(name), std::move(program), std::move(on_exit));
+  // The program's first resume happens on a later simulator dispatch, so the
+  // quota is in force before any of its system calls run.
+  runtime_->SetQuota(lip, quota);
+  return lip;
+}
+
+SymphonyServer::MetricsSnapshot SymphonyServer::Snapshot() const {
+  MetricsSnapshot snap;
+  snap.gpu_utilization = device_->Utilization();
+  snap.batches = device_->stats().batches;
+  snap.mean_batch_size = device_->batch_sizes().mean();
+  snap.preds = runtime_->stats().preds_submitted;
+  snap.lips_completed = runtime_->stats().lips_completed;
+  snap.kv_evicted_files = kvfs_->stats().evicted_files;
+  snap.kv_offloaded_pages = kvfs_->stats().offloaded_pages;
+  snap.kv_restored_pages = kvfs_->stats().restored_pages;
+  snap.transfer_bytes = device_->stats().transfer_bytes;
+  snap.mean_queue_wait_ms = scheduler_->queue_waits_ms().mean();
+  return snap;
+}
+
+}  // namespace symphony

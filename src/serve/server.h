@@ -1,0 +1,118 @@
+// SymphonyServer: the composed LLM-serving operating system (paper §4).
+//
+// Wires together the LIP runtime (processes/threads), KVFS (KV cache as
+// files), the simulated GPU device with its cost model, the two-level
+// scheduler (thread scheduler in the runtime + batch inference scheduler),
+// and the server-side tool registry. This is the top of the public API: a
+// client constructs a server around a Simulator and Launches LIPs.
+#ifndef SRC_SERVE_SERVER_H_
+#define SRC_SERVE_SERVER_H_
+
+#include <memory>
+#include <string>
+
+#include "src/gpu/device.h"
+#include "src/kvfs/kvfs.h"
+#include "src/model/cost_model.h"
+#include "src/model/model.h"
+#include "src/model/tokenizer.h"
+#include "src/runtime/lip_context.h"
+#include "src/runtime/runtime.h"
+#include "src/sched/batch_policy.h"
+#include "src/sched/inference_scheduler.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/trace.h"
+#include "src/tools/tool_registry.h"
+
+namespace symphony {
+
+enum class BatchPolicyKind {
+  kEager,
+  kSizeTimeout,
+  kPoissonAdaptive,
+};
+
+struct ServerOptions {
+  ModelConfig model = ModelConfig::Llama13B();
+  HardwareConfig hardware = HardwareConfig::A100();
+  RuntimeOptions runtime;
+  InferenceSchedulerOptions scheduler;
+  BatchPolicyKind batch_policy = BatchPolicyKind::kEager;
+  // SizeTimeout parameters (when selected).
+  size_t batch_target_size = 16;
+  SimDuration batch_timeout = Millis(5);
+  // PoissonAdaptive parameter (when selected).
+  SimDuration batch_max_wait = Millis(20);
+  // KVFS eviction when the device KV budget fills.
+  EvictionMode eviction = EvictionMode::kOffloadLru;
+  // Optional execution trace (non-owning; must outlive the server). Records
+  // GPU batch spans, LIP lifetime spans, and tool-call spans; dump with
+  // TraceRecorder::WriteChromeJson for chrome://tracing / Perfetto.
+  TraceRecorder* trace = nullptr;
+  // §4.3: offload a LIP's KV to host while it blocks on slow tool I/O.
+  bool offload_kv_on_tool_io = true;
+  SimDuration min_io_for_offload = Millis(5);
+  uint64_t tool_seed = 1234;
+};
+
+class SymphonyServer {
+ public:
+  SymphonyServer(Simulator* sim, ServerOptions options = {});
+  ~SymphonyServer();
+
+  SymphonyServer(const SymphonyServer&) = delete;
+  SymphonyServer& operator=(const SymphonyServer&) = delete;
+
+  // Starts a LIP; see LipRuntime::Launch.
+  LipId Launch(std::string name, LipProgram program,
+               std::function<void(LipId)> on_exit = nullptr);
+
+  // Starts a LIP with resource limits enforced at the system-call boundary
+  // (paper §6: resource accounting for untrusted programs).
+  LipId LaunchWithQuota(std::string name, LipQuota quota, LipProgram program,
+                        std::function<void(LipId)> on_exit = nullptr);
+
+  // Component access.
+  Simulator* simulator() { return sim_; }
+  Kvfs& kvfs() { return *kvfs_; }
+  LipRuntime& runtime() { return *runtime_; }
+  Device& device() { return *device_; }
+  InferenceScheduler& scheduler() { return *scheduler_; }
+  ToolRegistry& tools() { return *tools_; }
+  const Model& model() const { return *model_; }
+  const Tokenizer& tokenizer() const { return *tokenizer_; }
+  const ServerOptions& options() const { return options_; }
+
+  // Aggregate snapshot for benchmarks and dashboards.
+  struct MetricsSnapshot {
+    double gpu_utilization = 0.0;
+    uint64_t batches = 0;
+    double mean_batch_size = 0.0;
+    uint64_t preds = 0;
+    uint64_t lips_completed = 0;
+    uint64_t kv_evicted_files = 0;
+    uint64_t kv_offloaded_pages = 0;
+    uint64_t kv_restored_pages = 0;
+    uint64_t transfer_bytes = 0;
+    double mean_queue_wait_ms = 0.0;
+  };
+  MetricsSnapshot Snapshot() const;
+
+ private:
+  class ServerToolService;
+
+  Simulator* sim_;
+  ServerOptions options_;
+  std::unique_ptr<Model> model_;
+  std::unique_ptr<Tokenizer> tokenizer_;
+  std::unique_ptr<Kvfs> kvfs_;
+  std::unique_ptr<Device> device_;
+  std::unique_ptr<InferenceScheduler> scheduler_;
+  std::unique_ptr<ToolRegistry> tools_;
+  std::unique_ptr<ServerToolService> tool_service_;
+  std::unique_ptr<LipRuntime> runtime_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_SERVE_SERVER_H_

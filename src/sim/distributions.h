@@ -1,0 +1,93 @@
+// Stochastic processes used by workload generators and schedulers.
+//
+// PoissonProcess: memoryless request arrivals (the paper's load model).
+// ParetoCatalog: discrete item popularity whose rank-frequency law derives
+// from a Pareto index alpha. If item "sizes" are Pareto(alpha)-distributed,
+// the induced rank-frequency distribution is Zipf with exponent 1/alpha, so a
+// SMALL Pareto index means a FEW very popular items — matching §5's reading
+// ("Symphony outperforms ... when the Pareto index is small, i.e., when a few
+// topics are queried frequently").
+#ifndef SRC_SIM_DISTRIBUTIONS_H_
+#define SRC_SIM_DISTRIBUTIONS_H_
+
+#include <cassert>
+#include <cmath>
+#include <cstdint>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/sim/time.h"
+
+namespace symphony {
+
+// Homogeneous Poisson arrival process with the given mean rate (per second).
+class PoissonProcess {
+ public:
+  PoissonProcess(double rate_per_sec, uint64_t seed)
+      : rate_(rate_per_sec), rng_(seed) {
+    assert(rate_per_sec > 0.0);
+  }
+
+  // Draws the next interarrival gap.
+  SimDuration NextGap() {
+    return DurationFromSeconds(rng_.NextExponential(rate_));
+  }
+
+  double rate() const { return rate_; }
+
+ private:
+  double rate_;
+  Rng rng_;
+};
+
+// Popularity over items {0..n-1}: weight(rank r) ∝ (r+1)^(-1/alpha).
+// Item 0 is the most popular. Sampling is CDF binary search.
+class ParetoCatalog {
+ public:
+  ParetoCatalog(size_t n, double pareto_index, uint64_t seed)
+      : rng_(seed), cdf_(n) {
+    assert(n > 0);
+    assert(pareto_index > 0.0);
+    double s = 1.0 / pareto_index;  // Zipf exponent induced by Pareto(alpha).
+    double total = 0.0;
+    for (size_t r = 0; r < n; ++r) {
+      total += std::pow(static_cast<double>(r + 1), -s);
+      cdf_[r] = total;
+    }
+    for (double& c : cdf_) {
+      c /= total;
+    }
+  }
+
+  size_t size() const { return cdf_.size(); }
+
+  // Probability mass of the item at `rank`.
+  double Mass(size_t rank) const {
+    assert(rank < cdf_.size());
+    return rank == 0 ? cdf_[0] : cdf_[rank] - cdf_[rank - 1];
+  }
+
+  // Samples an item rank.
+  size_t Next() {
+    double u = rng_.NextDouble();
+    size_t lo = 0;
+    size_t hi = cdf_.size() - 1;
+    while (lo < hi) {
+      size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+ private:
+  Rng rng_;
+  std::vector<double> cdf_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_SIM_DISTRIBUTIONS_H_

@@ -1,0 +1,133 @@
+#include "src/sim/trace.h"
+
+#include <cstdio>
+
+namespace symphony {
+
+namespace {
+
+// Minimal JSON string escaping (quotes, backslashes, control chars).
+std::string Escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+double ToMicros(SimTime t) { return static_cast<double>(t) / 1000.0; }
+
+}  // namespace
+
+uint32_t TraceRecorder::TrackId(const std::string& track) {
+  for (uint32_t i = 0; i < tracks_.size(); ++i) {
+    if (tracks_[i] == track) {
+      return i;
+    }
+  }
+  tracks_.push_back(track);
+  return static_cast<uint32_t>(tracks_.size()) - 1;
+}
+
+void TraceRecorder::Span(std::string track, std::string name, SimTime start,
+                         SimDuration duration) {
+  events_.push_back(Event{'X', std::move(track), std::move(name), start,
+                          duration, 0.0});
+}
+
+void TraceRecorder::Instant(std::string track, std::string name, SimTime at) {
+  events_.push_back(Event{'i', std::move(track), std::move(name), at, 0, 0.0});
+}
+
+void TraceRecorder::Counter(std::string name, SimTime at, double value) {
+  events_.push_back(Event{'C', "counters", std::move(name), at, 0, value});
+}
+
+std::string TraceRecorder::ToChromeJson() const {
+  // Track ids must be stable; rebuild the mapping deterministically.
+  TraceRecorder* self = const_cast<TraceRecorder*>(this);
+  std::string out = "{\"traceEvents\":[\n";
+  char buffer[256];
+  bool first = true;
+  for (const Event& event : events_) {
+    if (!first) {
+      out += ",\n";
+    }
+    first = false;
+    uint32_t tid = self->TrackId(event.track);
+    switch (event.phase) {
+      case 'X':
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"ph\":\"X\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"dur\":%.3f,\"name\":\"%s\"}",
+                      tid, ToMicros(event.start), ToMicros(event.duration),
+                      Escape(event.name).c_str());
+        break;
+      case 'i':
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"ph\":\"i\",\"pid\":1,\"tid\":%u,\"ts\":%.3f,"
+                      "\"s\":\"t\",\"name\":\"%s\"}",
+                      tid, ToMicros(event.start), Escape(event.name).c_str());
+        break;
+      case 'C':
+        std::snprintf(buffer, sizeof(buffer),
+                      "{\"ph\":\"C\",\"pid\":1,\"ts\":%.3f,\"name\":\"%s\","
+                      "\"args\":{\"value\":%.3f}}",
+                      ToMicros(event.start), Escape(event.name).c_str(),
+                      event.value);
+        break;
+      default:
+        continue;
+    }
+    out += buffer;
+  }
+  out += "\n],\n\"metadata\":{";
+  for (size_t i = 0; i < tracks_.size(); ++i) {
+    if (i > 0) {
+      out += ",";
+    }
+    std::snprintf(buffer, sizeof(buffer), "\"track_%zu\":\"%s\"", i,
+                  Escape(tracks_[i]).c_str());
+    out += buffer;
+  }
+  out += "}}\n";
+  return out;
+}
+
+Status TraceRecorder::WriteChromeJson(const std::string& path) const {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return UnavailableError("cannot open trace file: " + path);
+  }
+  std::string json = ToChromeJson();
+  size_t written = std::fwrite(json.data(), 1, json.size(), file);
+  std::fclose(file);
+  if (written != json.size()) {
+    return UnavailableError("short write to trace file: " + path);
+  }
+  return Status::Ok();
+}
+
+}  // namespace symphony

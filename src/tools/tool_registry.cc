@@ -1,0 +1,118 @@
+#include "src/tools/tool_registry.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+
+#include "src/common/hash.h"
+
+namespace symphony {
+
+Status ToolRegistry::Register(ToolSpec spec) {
+  if (spec.name.empty() || !spec.handler) {
+    return InvalidArgumentError("tool needs a name and a handler");
+  }
+  auto [it, inserted] = tools_.emplace(spec.name, std::move(spec));
+  if (!inserted) {
+    return AlreadyExistsError("tool already registered: " + it->first);
+  }
+  return Status::Ok();
+}
+
+std::vector<std::string> ToolRegistry::Names() const {
+  std::vector<std::string> names;
+  names.reserve(tools_.size());
+  for (const auto& [name, spec] : tools_) {
+    names.push_back(name);
+  }
+  std::sort(names.begin(), names.end());
+  return names;
+}
+
+StatusOr<ToolInvocation> ToolRegistry::Run(const std::string& name,
+                                           const std::string& args) {
+  auto it = tools_.find(name);
+  if (it == tools_.end()) {
+    return NotFoundError("no such tool: " + name);
+  }
+  // Per-call Rng: deterministic in (registry seed, call index, args).
+  Rng rng(Mix64(seed_ ^ Mix64(invocation_count_++) ^ Fnv1a(args)));
+  return it->second.handler(args, rng);
+}
+
+ToolSpec ToolRegistry::Echo(std::string name, SimDuration latency) {
+  ToolSpec spec;
+  spec.name = std::move(name);
+  spec.description = "echoes its arguments after a fixed delay";
+  spec.handler = [latency](const std::string& args, Rng&) {
+    return ToolInvocation{latency, Status::Ok(), "echo:" + args};
+  };
+  return spec;
+}
+
+ToolSpec ToolRegistry::Lookup(std::string name, SimDuration median_latency,
+                              double sigma) {
+  ToolSpec spec;
+  spec.name = std::move(name);
+  spec.description = "fetches a pseudo-document for a key (lognormal latency)";
+  spec.handler = [median_latency, sigma](const std::string& args, Rng& rng) {
+    double factor = std::exp(sigma * rng.NextGaussian());
+    SimDuration latency = static_cast<SimDuration>(
+        static_cast<double>(median_latency) * factor);
+    uint64_t h = Fnv1a(args);
+    std::string doc = "doc";
+    for (int i = 0; i < 8; ++i) {
+      doc += " w" + std::to_string((h >> (i * 8)) % 997);
+    }
+    return ToolInvocation{latency, Status::Ok(), doc};
+  };
+  return spec;
+}
+
+ToolSpec ToolRegistry::Calculator(std::string name, SimDuration latency) {
+  ToolSpec spec;
+  spec.name = std::move(name);
+  spec.description = "evaluates 'a op b' integer expressions";
+  spec.handler = [latency](const std::string& args, Rng&) {
+    long a = 0;
+    long b = 0;
+    char op = 0;
+    char* cursor = nullptr;
+    a = std::strtol(args.c_str(), &cursor, 10);
+    while (cursor != nullptr && *cursor == ' ') {
+      ++cursor;
+    }
+    if (cursor == nullptr || *cursor == '\0') {
+      return ToolInvocation{latency, InvalidArgumentError("expected 'a op b'"), ""};
+    }
+    op = *cursor++;
+    b = std::strtol(cursor, nullptr, 10);
+    long result = 0;
+    switch (op) {
+      case '+':
+        result = a + b;
+        break;
+      case '-':
+        result = a - b;
+        break;
+      case '*':
+        result = a * b;
+        break;
+      case '/':
+        if (b == 0) {
+          return ToolInvocation{latency, InvalidArgumentError("division by zero"),
+                                ""};
+        }
+        result = a / b;
+        break;
+      default:
+        return ToolInvocation{latency,
+                              InvalidArgumentError(std::string("bad operator: ") + op),
+                              ""};
+    }
+    return ToolInvocation{latency, Status::Ok(), std::to_string(result)};
+  };
+  return spec;
+}
+
+}  // namespace symphony

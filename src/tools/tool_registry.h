@@ -1,0 +1,74 @@
+// Server-side tool registry (paper §2.2).
+//
+// Symphony co-locates function execution with generation: instead of
+// returning a function-call spec to the client and waiting for it to execute
+// and re-prompt, a LIP invokes tools directly on the server. The registry
+// maps tool names to handlers with latency models; handlers are deterministic
+// given (args, seed) so simulations replay.
+//
+// The registry implements the runtime's ToolService when wrapped by the
+// serving layer (which adds the §4.3 offload-while-blocked policy).
+#ifndef SRC_TOOLS_TOOL_REGISTRY_H_
+#define SRC_TOOLS_TOOL_REGISTRY_H_
+
+#include <functional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/common/status.h"
+#include "src/sim/time.h"
+
+namespace symphony {
+
+struct ToolInvocation {
+  SimDuration latency = 0;
+  Status status;
+  std::string output;
+};
+
+// Handler: given args and a per-call Rng, produce output + latency.
+using ToolHandler = std::function<ToolInvocation(const std::string& args, Rng& rng)>;
+
+struct ToolSpec {
+  std::string name;
+  std::string description;
+  ToolHandler handler;
+};
+
+class ToolRegistry {
+ public:
+  explicit ToolRegistry(uint64_t seed = 1234) : seed_(seed) {}
+
+  Status Register(ToolSpec spec);
+  bool Has(const std::string& name) const { return tools_.count(name) > 0; }
+  std::vector<std::string> Names() const;
+
+  // Runs the handler (instantaneously in real time); the caller is
+  // responsible for charging `latency` in virtual time.
+  StatusOr<ToolInvocation> Run(const std::string& name, const std::string& args);
+
+  // ---- Stock tools for workloads and examples --------------------------
+
+  // Fixed-latency echo tool: returns "echo:<args>".
+  static ToolSpec Echo(std::string name, SimDuration latency);
+
+  // Lognormal-latency lookup tool: returns a deterministic pseudo-document
+  // for the queried key (stands in for a web/API/RAG fetch).
+  static ToolSpec Lookup(std::string name, SimDuration median_latency,
+                         double sigma = 0.5);
+
+  // Arithmetic evaluator over "a op b" integer expressions (stands in for
+  // server-side code execution, e.g. NumPy snippets).
+  static ToolSpec Calculator(std::string name, SimDuration latency);
+
+ private:
+  uint64_t seed_;
+  uint64_t invocation_count_ = 0;
+  std::unordered_map<std::string, ToolSpec> tools_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_TOOLS_TOOL_REGISTRY_H_

@@ -1,0 +1,137 @@
+// Tests for SymphonyCluster: routing policies, namespace isolation, and
+// aggregate accounting.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "src/serve/cluster.h"
+
+namespace symphony {
+namespace {
+
+ClusterOptions TinyCluster(size_t replicas, RoutingPolicy routing) {
+  ClusterOptions options;
+  options.replicas = replicas;
+  options.routing = routing;
+  options.server.model = ModelConfig::Tiny();
+  return options;
+}
+
+TEST(ClusterTest, RoundRobinCycles) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(3, RoutingPolicy::kRoundRobin));
+  EXPECT_EQ(cluster.RouteFor(""), 0u);
+  EXPECT_EQ(cluster.RouteFor(""), 1u);
+  EXPECT_EQ(cluster.RouteFor(""), 2u);
+  EXPECT_EQ(cluster.RouteFor(""), 0u);
+}
+
+TEST(ClusterTest, AffinityIsDeterministicPerKey) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(4, RoutingPolicy::kCacheAffinity));
+  size_t first = cluster.RouteFor("topic-7");
+  for (int i = 0; i < 10; ++i) {
+    EXPECT_EQ(cluster.RouteFor("topic-7"), first);
+  }
+  // Different keys spread across replicas.
+  std::set<size_t> seen;
+  for (int k = 0; k < 40; ++k) {
+    seen.insert(cluster.RouteFor("topic-" + std::to_string(k)));
+  }
+  EXPECT_GT(seen.size(), 1u);
+}
+
+TEST(ClusterTest, LeastLoadedPicksIdleReplica) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(2, RoutingPolicy::kLeastLoaded));
+  // Occupy replica 0 with a long-running LIP.
+  cluster.replica(0).Launch("sleeper", [](LipContext& ctx) -> Task {
+    co_await ctx.sleep(Seconds(100));
+    co_return;
+  });
+  sim.RunUntil(Millis(1));
+  EXPECT_EQ(cluster.RouteFor("anything"), 1u);
+}
+
+TEST(ClusterTest, BoundedAffinityOverflowsUnderLoad) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kAffinityBounded);
+  options.load_factor = 1.2;
+  SymphonyCluster cluster(&sim, options);
+  std::string key = "hot-topic";
+  size_t preferred = cluster.RouteFor(key);
+  // Saturate the preferred replica with live LIPs.
+  for (int i = 0; i < 8; ++i) {
+    cluster.replica(preferred).Launch("hog", [](LipContext& ctx) -> Task {
+      co_await ctx.sleep(Seconds(100));
+      co_return;
+    });
+  }
+  sim.RunUntil(Millis(1));
+  // 8 live on preferred vs 0 elsewhere: the bound (1.2 * 4.5) rejects it.
+  EXPECT_NE(cluster.RouteFor(key), preferred);
+}
+
+TEST(ClusterTest, ReplicaNamespacesAreIsolated) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(2, RoutingPolicy::kRoundRobin));
+  cluster.replica(0).Launch("writer", [&](LipContext& ctx) -> Task {
+    (void)ctx.kv_create("/cache/doc", kModeShared);
+    co_return;
+  });
+  sim.Run();
+  EXPECT_TRUE(cluster.replica(0).kvfs().Exists("/cache/doc"));
+  EXPECT_FALSE(cluster.replica(1).kvfs().Exists("/cache/doc"));
+}
+
+TEST(ClusterTest, LaunchRoutesAndRuns) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(2, RoutingPolicy::kCacheAffinity));
+  int done = 0;
+  std::set<size_t> replicas_used;
+  for (int i = 0; i < 8; ++i) {
+    SymphonyCluster::ClusterLip lip = cluster.Launch(
+        "job", "key-" + std::to_string(i),
+        [&](LipContext& ctx) -> Task {
+          KvHandle kv = *ctx.kv_tmp();
+          StatusOr<std::vector<Distribution>> d = co_await ctx.pred_tokens(kv, 260);
+          if (d.ok()) {
+            ++done;
+          }
+          co_return;
+        });
+    replicas_used.insert(lip.replica);
+  }
+  sim.Run();
+  EXPECT_EQ(done, 8);
+  EXPECT_EQ(replicas_used.size(), 2u);
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.lips_completed, 8u);
+  EXPECT_GT(snap.batches, 0u);
+  EXPECT_EQ(snap.lips_per_replica.size(), 2u);
+}
+
+TEST(ClusterTest, ReplicasShareTheVirtualClock) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, TinyCluster(2, RoutingPolicy::kRoundRobin));
+  SimTime t0 = -1;
+  SimTime t1 = -1;
+  cluster.replica(0).Launch("a", [&](LipContext& ctx) -> Task {
+    co_await ctx.sleep(Millis(10));
+    t0 = ctx.now();
+    co_return;
+  });
+  cluster.replica(1).Launch("b", [&](LipContext& ctx) -> Task {
+    co_await ctx.sleep(Millis(20));
+    t1 = ctx.now();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_GE(t0, Millis(10));
+  EXPECT_GE(t1, Millis(20));
+  EXPECT_GE(sim.now(), Millis(20));
+}
+
+}  // namespace
+}  // namespace symphony

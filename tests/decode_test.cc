@@ -1,0 +1,529 @@
+// Tests for the decode module: samplers, the regex engine (parser, DFA,
+// token constraints), the JSON machine, and speculative verification.
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "src/common/rng.h"
+#include "src/decode/json_machine.h"
+#include "src/decode/regex.h"
+#include "src/decode/samplers.h"
+#include "src/decode/speculative.h"
+#include "src/decode/watermark.h"
+#include "src/model/model.h"
+
+namespace symphony {
+namespace {
+
+// ---------- Regex: full-match behaviour ----------
+
+struct RegexCase {
+  const char* pattern;
+  const char* input;
+  bool matches;
+};
+
+class RegexMatchTest : public ::testing::TestWithParam<RegexCase> {};
+
+TEST_P(RegexMatchTest, Matches) {
+  const RegexCase& c = GetParam();
+  StatusOr<std::unique_ptr<Dfa>> dfa = CompileRegex(c.pattern);
+  ASSERT_TRUE(dfa.ok()) << c.pattern << ": " << dfa.status();
+  EXPECT_EQ((*dfa)->Matches(c.input), c.matches)
+      << "pattern=" << c.pattern << " input=" << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Basics, RegexMatchTest,
+    ::testing::Values(
+        RegexCase{"abc", "abc", true}, RegexCase{"abc", "ab", false},
+        RegexCase{"abc", "abcd", false}, RegexCase{"a*", "", true},
+        RegexCase{"a*", "aaaa", true}, RegexCase{"a*", "ab", false},
+        RegexCase{"a+", "", false}, RegexCase{"a+", "aaa", true},
+        RegexCase{"a?b", "b", true}, RegexCase{"a?b", "ab", true},
+        RegexCase{"a?b", "aab", false}, RegexCase{"a|b", "a", true},
+        RegexCase{"a|b", "b", true}, RegexCase{"a|b", "c", false},
+        RegexCase{"(ab)+", "ababab", true}, RegexCase{"(ab)+", "aba", false},
+        RegexCase{"a(b|c)d", "abd", true}, RegexCase{"a(b|c)d", "acd", true},
+        RegexCase{"a(b|c)d", "aed", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Classes, RegexMatchTest,
+    ::testing::Values(
+        RegexCase{"[abc]+", "cab", true}, RegexCase{"[abc]+", "cad", false},
+        RegexCase{"[a-z]+", "hello", true}, RegexCase{"[a-z]+", "Hello", false},
+        RegexCase{"[^0-9]+", "abc", true}, RegexCase{"[^0-9]+", "ab1", false},
+        RegexCase{"\\d+", "12345", true}, RegexCase{"\\d+", "12a45", false},
+        RegexCase{"\\w+", "az_09", true}, RegexCase{"\\w+", "a b", false},
+        RegexCase{"\\s", " ", true}, RegexCase{"\\s", "x", false},
+        RegexCase{"a\\.b", "a.b", true}, RegexCase{"a\\.b", "axb", false},
+        RegexCase{"a.c", "abc", true}, RegexCase{"a.c", "a\nc", false},
+        RegexCase{"[a\\-z]+", "a-z", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Bounds, RegexMatchTest,
+    ::testing::Values(
+        RegexCase{"a{3}", "aaa", true}, RegexCase{"a{3}", "aa", false},
+        RegexCase{"a{3}", "aaaa", false}, RegexCase{"a{2,4}", "aa", true},
+        RegexCase{"a{2,4}", "aaaa", true}, RegexCase{"a{2,4}", "aaaaa", false},
+        RegexCase{"a{2,}", "aaaaaaa", true}, RegexCase{"a{2,}", "a", false},
+        RegexCase{"(ab){2}", "abab", true}, RegexCase{"(ab){2}", "ab", false},
+        RegexCase{"\\d{3}-\\d{4}", "555-1234", true},
+        RegexCase{"\\d{3}-\\d{4}", "55-1234", false}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Compound, RegexMatchTest,
+    ::testing::Values(
+        RegexCase{"(yes|no)", "yes", true}, RegexCase{"(yes|no)", "maybe", false},
+        RegexCase{"-?\\d+(\\.\\d+)?", "-3.14", true},
+        RegexCase{"-?\\d+(\\.\\d+)?", "42", true},
+        RegexCase{"-?\\d+(\\.\\d+)?", "4.", false},
+        RegexCase{"\"[a-z]*\"", "\"abc\"", true},
+        RegexCase{"\"[a-z]*\"", "\"abc", false}));
+
+TEST(RegexCompileTest, SyntaxErrors) {
+  EXPECT_FALSE(CompileRegex("(ab").ok());
+  EXPECT_FALSE(CompileRegex("ab)").ok());
+  EXPECT_FALSE(CompileRegex("[abc").ok());
+  EXPECT_FALSE(CompileRegex("*a").ok());
+  EXPECT_FALSE(CompileRegex("a{2,1}").ok());
+  EXPECT_FALSE(CompileRegex("a{").ok());
+  EXPECT_FALSE(CompileRegex("a\\").ok());
+  EXPECT_FALSE(CompileRegex("[z-a]").ok());
+}
+
+TEST(RegexCompileTest, StateLimitEnforced) {
+  // A pathological pattern whose DFA blows up: (a|b)*a(a|b){12} has ~2^12
+  // states.
+  StatusOr<std::unique_ptr<Dfa>> dfa = CompileRegex("(a|b)*a(a|b){12}", 256);
+  EXPECT_EQ(dfa.status().code(), StatusCode::kResourceExhausted);
+}
+
+TEST(RegexDfaTest, DeadEndDetection) {
+  std::unique_ptr<Dfa> dfa = *CompileRegex("abc");
+  Dfa::StateId s = dfa->start();
+  EXPECT_FALSE(dfa->IsDeadEnd(s));
+  s = dfa->Next(s, 'a');
+  EXPECT_FALSE(dfa->IsDeadEnd(s));
+  s = dfa->Next(s, 'x');
+  EXPECT_TRUE(dfa->IsDeadEnd(s));
+}
+
+TEST(RegexDfaTest, RunAndAccept) {
+  std::unique_ptr<Dfa> dfa = *CompileRegex("ab*");
+  Dfa::StateId s = dfa->Run(dfa->start(), "abbb");
+  EXPECT_TRUE(dfa->IsAccept(s));
+  EXPECT_FALSE(dfa->IsAccept(dfa->start()));
+}
+
+// ---------- TokenConstraint ----------
+
+class TokenConstraintTest : public ::testing::Test {
+ protected:
+  Tokenizer tokenizer_{ModelConfig::Tiny().vocab_size};
+};
+
+TEST_F(TokenConstraintTest, ByteTokensFollowDfa) {
+  std::unique_ptr<Dfa> dfa = *CompileRegex("[0-9]+");
+  TokenConstraint constraint(dfa.get(), &tokenizer_);
+  Dfa::StateId s = constraint.start();
+  TokenId digit = kFirstByteToken + '7';
+  TokenId letter = kFirstByteToken + 'x';
+  EXPECT_TRUE(constraint.Allows(s, digit));
+  EXPECT_FALSE(constraint.Allows(s, letter));
+  EXPECT_FALSE(constraint.Allows(s, kEosToken));  // Nothing consumed yet.
+  s = constraint.Advance(s, digit);
+  EXPECT_TRUE(constraint.Allows(s, kEosToken));  // "7" is a full match.
+}
+
+TEST_F(TokenConstraintTest, WordTokensMatchWholeText) {
+  // Word token "w7" consumes the two characters 'w''7'.
+  std::unique_ptr<Dfa> dfa = *CompileRegex("w[0-9]");
+  TokenConstraint constraint(dfa.get(), &tokenizer_);
+  Dfa::StateId s = constraint.start();
+  TokenId w7 = tokenizer_.LookupWord("w7");
+  ASSERT_NE(w7, kUnkToken);
+  EXPECT_TRUE(constraint.Allows(s, w7));
+  s = constraint.Advance(s, w7);
+  EXPECT_TRUE(constraint.IsAccept(s));
+}
+
+TEST_F(TokenConstraintTest, SpecialsNeverAllowed) {
+  std::unique_ptr<Dfa> dfa = *CompileRegex(".*");
+  TokenConstraint constraint(dfa.get(), &tokenizer_);
+  EXPECT_FALSE(constraint.Allows(constraint.start(), kPadToken));
+  EXPECT_FALSE(constraint.Allows(constraint.start(), kBosToken));
+  EXPECT_FALSE(constraint.Allows(constraint.start(), kUnkToken));
+}
+
+TEST_F(TokenConstraintTest, ConstrainedGreedyGenerationMatchesPattern) {
+  // Drive the Tiny model greedily under a phone-number constraint; the
+  // emitted string must match the pattern.
+  std::unique_ptr<Dfa> dfa = *CompileRegex("[0-9]{3}-[0-9]{4}");
+  TokenConstraint constraint(dfa.get(), &tokenizer_);
+  Model model(ModelConfig::Tiny());
+
+  HiddenState state = model.InitialState();
+  Dfa::StateId cs = constraint.start();
+  std::string out;
+  int32_t pos = 0;
+  for (int step = 0; step < 32; ++step) {
+    Distribution dist = model.Predict(state);
+    TokenId t = dist.GreedyMasked(
+        [&](TokenId tok) { return constraint.Allows(cs, tok); });
+    ASSERT_NE(t, kUnkToken);
+    if (t == kEosToken) {
+      break;
+    }
+    out += tokenizer_.TokenToString(t);
+    cs = constraint.Advance(cs, t);
+    state = model.Advance(state, t, pos++);
+  }
+  EXPECT_TRUE(dfa->Matches(out)) << out;
+}
+
+// ---------- JSON machine ----------
+
+struct JsonCase {
+  const char* input;
+  bool valid_complete;
+};
+
+class JsonCompleteTest : public ::testing::TestWithParam<JsonCase> {};
+
+TEST_P(JsonCompleteTest, FeedAllAndDone) {
+  const JsonCase& c = GetParam();
+  JsonMachine machine;
+  bool fed = machine.FeedAll(c.input);
+  EXPECT_EQ(fed && machine.Done(), c.valid_complete) << c.input;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Values, JsonCompleteTest,
+    ::testing::Values(
+        JsonCase{"{}", true}, JsonCase{"[]", true}, JsonCase{"null", true},
+        JsonCase{"true", true}, JsonCase{"false", true}, JsonCase{"0", true},
+        JsonCase{"-12", true}, JsonCase{"3.25", true}, JsonCase{"1e9", true},
+        JsonCase{"6.02e+23", true}, JsonCase{"\"hi\"", true},
+        JsonCase{"\"esc\\n\\\"q\\\"\"", true}, JsonCase{"\"\\u00e9\"", true},
+        JsonCase{"  {  } ", true}, JsonCase{"[1, 2, 3]", true},
+        JsonCase{"{\"a\": 1}", true},
+        JsonCase{"{\"a\": [true, null, {\"b\": \"c\"}]}", true},
+        JsonCase{"{\"a\": 1, \"b\": 2}", true}));
+
+INSTANTIATE_TEST_SUITE_P(
+    Invalid, JsonCompleteTest,
+    ::testing::Values(
+        JsonCase{"{", false}, JsonCase{"[1,", false}, JsonCase{"01", false},
+        JsonCase{"1.", false}, JsonCase{"+1", false}, JsonCase{"tru", false},
+        JsonCase{"truee", false}, JsonCase{"{\"a\" 1}", false},
+        JsonCase{"{a: 1}", false}, JsonCase{"[1 2]", false},
+        JsonCase{"\"unterminated", false}, JsonCase{"{} {}", false},
+        JsonCase{"\"bad\\x\"", false}, JsonCase{"[]]", false},
+        JsonCase{"", false}));
+
+TEST(JsonMachineTest, PrefixStaysAliveUntilError) {
+  JsonMachine machine;
+  EXPECT_TRUE(machine.FeedAll("{\"key\": [1, 2"));
+  EXPECT_FALSE(machine.Done());
+  EXPECT_FALSE(machine.dead());
+  EXPECT_FALSE(machine.Feed('x'));  // "1, 2x" is unsalvageable.
+  EXPECT_TRUE(machine.dead());
+}
+
+TEST(JsonMachineTest, CanFeedDoesNotMutate) {
+  JsonMachine machine;
+  ASSERT_TRUE(machine.FeedAll("[1"));
+  EXPECT_TRUE(machine.CanFeed(", 2]"));
+  EXPECT_TRUE(machine.CanFeed("]"));
+  // Machine state unchanged: both futures still possible.
+  EXPECT_TRUE(machine.FeedAll("]"));
+  EXPECT_TRUE(machine.Done());
+}
+
+TEST(JsonMachineTest, TopLevelNumberDoneWhileExtensible) {
+  JsonMachine machine;
+  ASSERT_TRUE(machine.FeedAll("42"));
+  EXPECT_TRUE(machine.Done());       // "42" is complete...
+  EXPECT_TRUE(machine.Feed('0'));    // ...but can still extend to "420".
+  EXPECT_TRUE(machine.Done());
+}
+
+TEST(JsonMachineTest, TokenLevelInterface) {
+  Tokenizer tokenizer(ModelConfig::Tiny().vocab_size);
+  JsonMachine machine;
+  TokenId open = kFirstByteToken + '{';
+  TokenId close = kFirstByteToken + '}';
+  EXPECT_TRUE(machine.AllowsToken(tokenizer, open));
+  EXPECT_FALSE(machine.AllowsToken(tokenizer, kEosToken));
+  machine.AdvanceToken(tokenizer, open);
+  EXPECT_TRUE(machine.AllowsToken(tokenizer, close));
+  machine.AdvanceToken(tokenizer, close);
+  EXPECT_TRUE(machine.AllowsToken(tokenizer, kEosToken));
+}
+
+TEST(JsonMachineTest, ConstrainedGenerationProducesValidJson) {
+  Tokenizer tokenizer(ModelConfig::Tiny().vocab_size);
+  Model model(ModelConfig::Tiny());
+  JsonMachine machine;
+  HiddenState state = model.InitialState();
+  std::string out;
+  int32_t pos = 0;
+  for (int step = 0; step < 64; ++step) {
+    Distribution dist = model.Predict(state);
+    TokenId t = dist.GreedyMasked(
+        [&](TokenId tok) { return machine.AllowsToken(tokenizer, tok); });
+    ASSERT_NE(t, kUnkToken);
+    if (t == kEosToken) {
+      break;
+    }
+    out += tokenizer.TokenToString(t);
+    machine.AdvanceToken(tokenizer, t);
+    state = model.Advance(state, t, pos++);
+  }
+  JsonMachine checker;
+  EXPECT_TRUE(checker.FeedAll(out) && checker.Done()) << out;
+}
+
+// ---------- Samplers ----------
+
+class SamplerTest : public ::testing::Test {
+ protected:
+  ModelConfig config_ = ModelConfig::Tiny();
+  Model model_{config_};
+  Distribution Dist(TokenId seed_token) {
+    return model_.Predict(model_.Advance(model_.InitialState(), seed_token, 0));
+  }
+};
+
+TEST_F(SamplerTest, ZeroTemperatureIsGreedy) {
+  Distribution d = Dist(260);
+  SamplerConfig cfg;
+  cfg.temperature = 0.0;
+  Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleToken(d, cfg, rng.NextDouble()), d.Argmax());
+  }
+}
+
+TEST_F(SamplerTest, TopK1IsGreedy) {
+  Distribution d = Dist(261);
+  SamplerConfig cfg;
+  cfg.top_k = 1;
+  Rng rng(2);
+  for (int i = 0; i < 50; ++i) {
+    EXPECT_EQ(SampleToken(d, cfg, rng.NextDouble()), d.Argmax());
+  }
+}
+
+TEST_F(SamplerTest, TopKRestrictsSupport) {
+  Distribution d = Dist(262);
+  std::vector<TokenId> cands = d.TopCandidates();
+  SamplerConfig cfg;
+  cfg.top_k = 4;
+  cfg.temperature = 2.0;  // Flatten so lower ranks would otherwise appear.
+  Rng rng(3);
+  for (int i = 0; i < 500; ++i) {
+    TokenId t = SampleToken(d, cfg, rng.NextDouble());
+    bool in_top4 = false;
+    for (size_t j = 0; j < 4; ++j) {
+      if (t == cands[j]) {
+        in_top4 = true;
+      }
+    }
+    EXPECT_TRUE(in_top4);
+  }
+}
+
+TEST_F(SamplerTest, TopPRestrictsToNucleus) {
+  Distribution d = Dist(263);
+  SamplerConfig cfg;
+  cfg.top_p = 0.5;
+  Rng rng(4);
+  // Compute the nucleus ourselves.
+  std::vector<TokenId> cands = d.TopCandidates();
+  double cum = 0.0;
+  size_t nucleus = 0;
+  for (TokenId t : cands) {
+    cum += d.Prob(t);
+    ++nucleus;
+    if (cum >= 0.5) {
+      break;
+    }
+  }
+  for (int i = 0; i < 500; ++i) {
+    TokenId t = SampleToken(d, cfg, rng.NextDouble());
+    bool in_nucleus = false;
+    for (size_t j = 0; j < nucleus; ++j) {
+      if (t == cands[j]) {
+        in_nucleus = true;
+      }
+    }
+    EXPECT_TRUE(in_nucleus);
+  }
+}
+
+// ---------- Speculative verification ----------
+
+TEST(SpeculativeTest, PerfectDraftAcceptsAll) {
+  // Draft == target model: every draft token has p == q, always accepted.
+  Model target(ModelConfig::Llama13B());
+  HiddenState s = target.InitialState();
+  Distribution before = target.Predict(s);
+
+  std::vector<TokenId> draft_tokens;
+  std::vector<Distribution> draft_dists;
+  std::vector<Distribution> target_dists;
+  HiddenState cur = s;
+  int32_t pos = 0;
+  for (int i = 0; i < 4; ++i) {
+    Distribution d = target.Predict(cur);
+    TokenId t = d.Argmax();
+    draft_dists.push_back(d);
+    draft_tokens.push_back(t);
+    cur = target.Advance(cur, t, pos++);
+    target_dists.push_back(target.Predict(cur));
+  }
+  Rng rng(7);
+  SpeculativeOutcome outcome =
+      VerifyDraft(before, draft_tokens, draft_dists, target_dists, rng);
+  EXPECT_EQ(outcome.accepted, 4u);
+  EXPECT_NE(outcome.next_token, kUnkToken);
+}
+
+TEST(SpeculativeTest, ImperfectDraftAcceptsSome) {
+  Model target(ModelConfig::Llama13B());
+  Model draft(ModelConfig::Llama1BDraft());
+
+  Rng rng(11);
+  uint64_t total_accepted = 0;
+  uint64_t total_drafted = 0;
+  HiddenState s = target.InitialState();
+  int32_t pos = 0;
+  constexpr int kRounds = 60;
+  constexpr int kDraftLen = 4;
+  for (int round = 0; round < kRounds; ++round) {
+    Distribution before = target.Predict(s);
+    std::vector<TokenId> draft_tokens;
+    std::vector<Distribution> draft_dists;
+    std::vector<Distribution> target_dists;
+    HiddenState cur = s;
+    int32_t p = pos;
+    for (int i = 0; i < kDraftLen; ++i) {
+      Distribution dd = draft.Predict(cur);
+      TokenId t = dd.Argmax();
+      draft_dists.push_back(dd);
+      draft_tokens.push_back(t);
+      cur = target.Advance(cur, t, p++);
+      target_dists.push_back(target.Predict(cur));
+    }
+    SpeculativeOutcome outcome =
+        VerifyDraft(before, draft_tokens, draft_dists, target_dists, rng);
+    total_accepted += outcome.accepted;
+    total_drafted += kDraftLen;
+    // Advance the "real" sequence by the accepted prefix + next token.
+    for (size_t i = 0; i < outcome.accepted; ++i) {
+      s = target.Advance(s, draft_tokens[i], pos++);
+    }
+    s = target.Advance(s, outcome.next_token, pos++);
+  }
+  double acceptance = static_cast<double>(total_accepted) /
+                      static_cast<double>(total_drafted);
+  EXPECT_GT(acceptance, 0.3);
+  EXPECT_LT(acceptance, 0.98);
+}
+
+TEST(SpeculativeTest, EmptyDraftSamplesFromTarget) {
+  Model target(ModelConfig::Tiny());
+  Distribution before = target.Predict(target.InitialState());
+  Rng rng(3);
+  SpeculativeOutcome outcome = VerifyDraft(before, {}, {}, {}, rng);
+  EXPECT_EQ(outcome.accepted, 0u);
+  EXPECT_GE(outcome.next_token, 0);
+}
+
+// ---------- Watermarking ----------
+
+class WatermarkTest : public ::testing::Test {
+ protected:
+  ModelConfig config_ = ModelConfig::Tiny();
+  Model model_{config_};
+  WatermarkConfig wm_;
+
+  // Generates `n` tokens with (or without) the watermark.
+  std::vector<TokenId> GenerateTokens(int n, bool watermarked, uint64_t seed) {
+    Watermarker watermarker(wm_);
+    Rng rng(seed);
+    HiddenState s = model_.InitialState();
+    TokenId prev = 260;
+    s = model_.Advance(s, prev, 0);
+    std::vector<TokenId> out = {prev};
+    for (int i = 1; i <= n; ++i) {
+      Distribution dist = model_.Predict(s);
+      TokenId t = watermarked
+                      ? watermarker.Sample(dist, prev, rng.NextDouble(),
+                                           rng.NextDouble())
+                      : dist.Sample(rng.NextDouble());
+      out.push_back(t);
+      s = model_.Advance(s, t, i);
+      prev = t;
+    }
+    return out;
+  }
+};
+
+TEST_F(WatermarkTest, GreenListIsGammaFraction) {
+  Watermarker watermarker(wm_);
+  int green = 0;
+  int total = 0;
+  for (TokenId prev = 260; prev < 280; ++prev) {
+    for (TokenId t = 0; t < static_cast<TokenId>(config_.vocab_size); ++t) {
+      ++total;
+      green += watermarker.IsGreen(prev, t) ? 1 : 0;
+    }
+  }
+  EXPECT_NEAR(static_cast<double>(green) / total, wm_.gamma, 0.03);
+}
+
+TEST_F(WatermarkTest, GreenListDependsOnPreviousToken) {
+  Watermarker watermarker(wm_);
+  int differing = 0;
+  for (TokenId t = 0; t < 256; ++t) {
+    if (watermarker.IsGreen(260, t) != watermarker.IsGreen(261, t)) {
+      ++differing;
+    }
+  }
+  EXPECT_GT(differing, 50);  // Partitions are (nearly) independent.
+}
+
+TEST_F(WatermarkTest, WatermarkedTextDetected) {
+  std::vector<TokenId> text = GenerateTokens(300, /*watermarked=*/true, 7);
+  WatermarkVerdict verdict = DetectWatermark(text, wm_);
+  EXPECT_TRUE(verdict.watermarked) << "z=" << verdict.z_score;
+  EXPECT_GT(verdict.z_score, 4.0);
+}
+
+TEST_F(WatermarkTest, UnwatermarkedTextNotDetected) {
+  std::vector<TokenId> text = GenerateTokens(300, /*watermarked=*/false, 7);
+  WatermarkVerdict verdict = DetectWatermark(text, wm_);
+  EXPECT_FALSE(verdict.watermarked) << "z=" << verdict.z_score;
+  EXPECT_LT(verdict.z_score, 4.0);
+}
+
+TEST_F(WatermarkTest, WrongSaltDoesNotDetect) {
+  std::vector<TokenId> text = GenerateTokens(300, /*watermarked=*/true, 7);
+  WatermarkConfig wrong = wm_;
+  wrong.salt ^= 0xdeadbeef;
+  WatermarkVerdict verdict = DetectWatermark(text, wrong);
+  EXPECT_FALSE(verdict.watermarked) << "z=" << verdict.z_score;
+}
+
+TEST_F(WatermarkTest, EmptyAndTinyInputsAreSafe) {
+  EXPECT_FALSE(DetectWatermark({}, wm_).watermarked);
+  EXPECT_FALSE(DetectWatermark({260}, wm_).watermarked);
+}
+
+}  // namespace
+}  // namespace symphony

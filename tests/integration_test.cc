@@ -1,0 +1,399 @@
+// Cross-module integration tests: end-to-end invariants that only hold if
+// the whole stack (runtime + scheduler + device + KVFS + model) cooperates.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "src/baseline/prompt_server.h"
+#include "src/serve/server.h"
+
+namespace symphony {
+namespace {
+
+ServerOptions TinyOptions() {
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  return options;
+}
+
+// Greedy continuation from a cached/forked prefix must emit the same tokens
+// as recomputing the whole context from scratch.
+TEST(IntegrationTest, CachedForkEqualsRecompute) {
+  std::vector<TokenId> doc;
+  for (int i = 0; i < 100; ++i) {
+    doc.push_back(static_cast<TokenId>(260 + (i % 40)));
+  }
+  std::vector<TokenId> query = {270, 271, 272};
+  constexpr int kSteps = 10;
+
+  auto generate = [&](bool use_cache) {
+    Simulator sim;
+    SymphonyServer server(&sim, TinyOptions());
+    std::vector<TokenId> out;
+    if (use_cache) {
+      // First LIP publishes the doc KV; second forks it.
+      server.Launch("publisher", [&](LipContext& ctx) -> Task {
+        KvHandle kv = *ctx.kv_create("/cache/doc", kModeShared);
+        (void)co_await ctx.pred(kv, doc);
+        (void)ctx.kv_close(kv);
+        co_return;
+      });
+      sim.Run();
+    }
+    server.Launch("consumer", [&](LipContext& ctx) -> Task {
+      KvHandle kv{};
+      if (use_cache) {
+        KvHandle shared = *ctx.kv_open("/cache/doc");
+        kv = *ctx.kv_fork(shared);
+        (void)ctx.kv_close(shared);
+      } else {
+        kv = *ctx.kv_tmp();
+        (void)co_await ctx.pred(kv, doc);
+      }
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, query);
+      if (!d.ok()) {
+        co_return;
+      }
+      TokenId t = d->back().Argmax();
+      for (int i = 0; i < kSteps; ++i) {
+        out.push_back(t);
+        StatusOr<std::vector<Distribution>> next = co_await ctx.pred1(kv, t);
+        if (!next.ok()) {
+          co_return;
+        }
+        t = next->back().Argmax();
+      }
+      co_return;
+    });
+    sim.Run();
+    return out;
+  };
+
+  std::vector<TokenId> cached = generate(true);
+  std::vector<TokenId> recomputed = generate(false);
+  ASSERT_EQ(cached.size(), static_cast<size_t>(kSteps));
+  EXPECT_EQ(cached, recomputed);
+}
+
+// Symphony and the baseline prompt server run the same model: greedy
+// completions must agree token for token.
+TEST(IntegrationTest, SymphonyAndBaselineAgreeOnGreedyTokens) {
+  std::vector<TokenId> prompt = {260, 261, 262, 263, 264};
+  constexpr int kSteps = 8;
+
+  std::vector<TokenId> from_baseline;
+  {
+    Simulator sim;
+    BaselineOptions options = PromptServer::TgiLike();
+    options.model = ModelConfig::Tiny();
+    PromptServer server(&sim, options);
+    CompletionRequest request;
+    request.prompt = prompt;
+    request.max_new_tokens = kSteps;
+    request.stop_at_eos = false;
+    request.done = [&](const CompletionResponse& r) { from_baseline = r.tokens; };
+    server.Submit(std::move(request));
+    sim.Run();
+  }
+
+  std::vector<TokenId> from_symphony;
+  {
+    Simulator sim;
+    SymphonyServer server(&sim, TinyOptions());
+    server.Launch("gen", [&](LipContext& ctx) -> Task {
+      KvHandle kv = *ctx.kv_tmp();
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, prompt);
+      if (!d.ok()) {
+        co_return;
+      }
+      TokenId t = d->back().Argmax();
+      for (int i = 0; i < kSteps; ++i) {
+        from_symphony.push_back(t);
+        StatusOr<std::vector<Distribution>> next = co_await ctx.pred1(kv, t);
+        if (!next.ok()) {
+          co_return;
+        }
+        t = next->back().Argmax();
+      }
+      co_return;
+    });
+    sim.Run();
+  }
+
+  EXPECT_EQ(from_baseline, from_symphony);
+}
+
+// Whole-server determinism: identical runs produce identical virtual end
+// times, outputs, and device statistics.
+TEST(IntegrationTest, WholeServerRunsAreDeterministic) {
+  auto run = [] {
+    Simulator sim;
+    SymphonyServer server(&sim, TinyOptions());
+    (void)server.tools().Register(ToolRegistry::Lookup("fetch", Millis(15)));
+    std::string transcript;
+    for (int i = 0; i < 6; ++i) {
+      server.Launch("lip-" + std::to_string(i), [&, i](LipContext& ctx) -> Task {
+        KvHandle kv = *ctx.kv_tmp();
+        StatusOr<std::vector<Distribution>> d =
+            co_await ctx.pred_tokens(kv, 260 + i, 261, 262);
+        if (!d.ok()) {
+          co_return;
+        }
+        TokenId t = d->back().Sample(ctx.uniform(), 0.9);
+        StatusOr<std::string> fetched =
+            co_await ctx.call_tool("fetch", std::to_string(i));
+        transcript += std::to_string(t) + ":" + fetched.value_or("?") + ";";
+        co_return;
+      });
+    }
+    sim.Run();
+    return std::make_tuple(sim.now(), transcript,
+                           server.device().stats().batches,
+                           server.kvfs().pool().stats().allocations);
+  };
+  EXPECT_EQ(run(), run());
+}
+
+// Page accounting balances after heavy churn of fork/extract/merge/remove.
+TEST(IntegrationTest, PageAccountingBalancesAfterChurn) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  server.Launch("churn", [&](LipContext& ctx) -> Task {
+    for (int round = 0; round < 10; ++round) {
+      KvHandle base = *ctx.kv_tmp();
+      std::vector<TokenId> toks;
+      for (int i = 0; i < 40; ++i) {
+        toks.push_back(static_cast<TokenId>(260 + ((round + i) % 40)));
+      }
+      (void)co_await ctx.pred(base, toks);
+
+      KvHandle fork = *ctx.kv_fork(base);
+      (void)co_await ctx.pred1(fork, 270);
+
+      std::vector<uint64_t> keep = {0, 1, 2, 10, 20, 39};
+      KvHandle pruned = *ctx.kv_extract(base, keep);
+
+      std::vector<KvHandle> sources = {pruned, fork};
+      KvHandle merged = *ctx.kv_merge(sources);
+      (void)merged;
+
+      // Close some, leak others: process exit must reclaim everything.
+      (void)ctx.kv_close(base);
+      (void)ctx.kv_close(pruned);
+    }
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(server.kvfs().pool().stats().gpu_pages_used, 0u);
+  EXPECT_EQ(server.kvfs().pool().stats().host_pages_used, 0u);
+  EXPECT_TRUE(server.kvfs().ListAll().empty());
+}
+
+// A pred in flight while another LIP appends to the same file must fail the
+// re-validation instead of corrupting the file.
+TEST(IntegrationTest, ConcurrentSharedFileModificationDetected) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  Status slow_status;
+
+  server.Launch("owner", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_create("/shared/ctx", kModePublic);
+    (void)co_await ctx.pred_tokens(kv, 260, 261);
+    ctx.send("ready", "go");
+    // Submit a pred, and while it is queued/executing the intruder appends.
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, 262);
+    slow_status = d.status();
+    co_return;
+  });
+  server.Launch("intruder", [&](LipContext& ctx) -> Task {
+    (void)co_await ctx.recv("ready");
+    StatusOr<KvHandle> kv = ctx.kv_open("/shared/ctx", /*write=*/true);
+    if (!kv.ok()) {
+      co_return;
+    }
+    // Direct append through KVFS (no model work), racing the owner's pred.
+    std::vector<TokenRecord> rogue = {TokenRecord{299, 2, 12345u}};
+    (void)ctx.runtime_for_testing()->kvfs()->Append(*kv, rogue);
+    co_return;
+  });
+  sim.Run();
+  // Either the owner's pred lost the race (invalid continuation) or it
+  // completed first and the rogue append extended a valid file; both leave
+  // the system consistent. With this event ordering the pred must fail.
+  EXPECT_EQ(slow_status.code(), StatusCode::kInvalidArgument);
+}
+
+// Offload + restore through the pred path preserves contents exactly.
+TEST(IntegrationTest, OffloadRestoreRoundTripThroughPred) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  bool match = false;
+  server.Launch("roundtrip", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < 50; ++i) {
+      prompt.push_back(static_cast<TokenId>(260 + (i % 40)));
+    }
+    (void)co_await ctx.pred(kv, prompt);
+    HiddenState before = *ctx.runtime_for_testing()->kvfs()->TailState(kv);
+    (void)ctx.kv_offload(kv);
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, 270);
+    if (!d.ok()) {
+      co_return;
+    }
+    // Recompute what the tail state should be.
+    Model model(ModelConfig::Tiny());
+    HiddenState expected = model.Advance(before, 270, 50);
+    match = (*ctx.runtime_for_testing()->kvfs()->TailState(kv) == expected);
+    co_return;
+  });
+  sim.Run();
+  EXPECT_TRUE(match);
+}
+
+// Natural termination: with a strong EOS bias, greedy generation ends on its
+// own and the file stops growing.
+TEST(IntegrationTest, EosTerminatesGeneration) {
+  Simulator sim;
+  ServerOptions options = TinyOptions();
+  options.model.eos_bias_permille = 300;
+  SymphonyServer server(&sim, options);
+  int generated = 0;
+  bool saw_eos = false;
+  server.Launch("short", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred_tokens(kv, 260);
+    if (!d.ok()) {
+      co_return;
+    }
+    TokenId t = d->back().Argmax();
+    for (int i = 0; i < 500; ++i) {
+      if (t == kEosToken) {
+        saw_eos = true;
+        break;
+      }
+      ++generated;
+      StatusOr<std::vector<Distribution>> next = co_await ctx.pred1(kv, t);
+      if (!next.ok()) {
+        co_return;
+      }
+      t = next->back().Argmax();
+    }
+    co_return;
+  });
+  sim.Run();
+  EXPECT_TRUE(saw_eos);
+  EXPECT_LT(generated, 500);
+}
+
+// Memory-pressure preemption: more concurrent LIP KV than the device holds
+// must stall-and-retry, not fail, as long as LIPs eventually finish.
+TEST(IntegrationTest, MemoryPressureRequeuesInsteadOfFailing) {
+  Simulator sim;
+  ServerOptions options = TinyOptions();
+  // Tiny device: KV budget ~192 tokens at Tiny geometry.
+  options.hardware.hbm_bytes = options.model.WeightBytes() +
+                               options.hardware.activation_reserve_bytes +
+                               options.model.KvBytesPerToken() * 192;
+  SymphonyServer server(&sim, options);
+  int completed = 0;
+  constexpr int kLips = 8;  // 8 x 48 tokens = 2x the budget.
+  for (int i = 0; i < kLips; ++i) {
+    server.Launch(
+        "big-" + std::to_string(i),
+        [&, i](LipContext& ctx) -> Task {
+          KvHandle kv = *ctx.kv_tmp();
+          std::vector<TokenId> prompt(48, static_cast<TokenId>(260 + i));
+          StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, prompt);
+          if (d.ok()) {
+            ++completed;
+          }
+          // Close promptly so others can proceed.
+          (void)ctx.kv_close(kv);
+          co_return;
+        });
+  }
+  sim.Run();
+  EXPECT_EQ(completed, kLips);
+  EXPECT_GT(server.scheduler().stats().memory_requeues, 0u);
+}
+
+// Tool failures surface to the LIP as a Status, not a crash, and the LIP
+// continues running afterwards.
+TEST(IntegrationTest, ToolErrorsAreRecoverable) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  (void)server.tools().Register(ToolRegistry::Calculator("calc", Millis(1)));
+  std::vector<std::string> log;
+  server.Launch("robust", [&](LipContext& ctx) -> Task {
+    StatusOr<std::string> bad = co_await ctx.call_tool("calc", "1 / 0");
+    log.push_back(bad.ok() ? "unexpected" : StatusCodeName(bad.status().code()).data());
+    StatusOr<std::string> missing = co_await ctx.call_tool("no_such_tool", "");
+    log.push_back(missing.ok() ? "unexpected" : StatusCodeName(missing.status().code()).data());
+    StatusOr<std::string> good = co_await ctx.call_tool("calc", "2 + 2");
+    log.push_back(good.value_or("fail"));
+    co_return;
+  });
+  sim.Run();
+  ASSERT_EQ(log.size(), 3u);
+  EXPECT_EQ(log[0], "INVALID_ARGUMENT");
+  EXPECT_EQ(log[1], "NOT_FOUND");
+  EXPECT_EQ(log[2], "4");
+}
+
+// Awaitable sub-coroutines: a LIP factored into helper Tasks behaves like
+// the inline version.
+Task GenerateN(LipContext& ctx, KvHandle kv, TokenId first, int n,
+               std::vector<TokenId>* out) {
+  TokenId t = first;
+  for (int i = 0; i < n; ++i) {
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+    if (!d.ok()) {
+      co_return;
+    }
+    t = d->back().Argmax();
+    out->push_back(t);
+  }
+  co_return;
+}
+
+TEST(IntegrationTest, SubCoroutinesComposeWithSyscalls) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  std::vector<TokenId> nested;
+  std::vector<TokenId> inline_version;
+  server.Launch("nested", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    co_await GenerateN(ctx, kv, 260, 3, &nested);
+    co_await GenerateN(ctx, kv, 261, 3, &nested);
+    co_return;
+  });
+  sim.Run();
+
+  Simulator sim2;
+  SymphonyServer server2(&sim2, TinyOptions());
+  server2.Launch("inline", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    TokenId t = 260;
+    for (int i = 0; i < 3; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      t = d->back().Argmax();
+      inline_version.push_back(t);
+    }
+    t = 261;
+    for (int i = 0; i < 3; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      t = d->back().Argmax();
+      inline_version.push_back(t);
+    }
+    co_return;
+  });
+  sim2.Run();
+
+  ASSERT_EQ(nested.size(), 6u);
+  EXPECT_EQ(nested, inline_version);
+}
+
+}  // namespace
+}  // namespace symphony

@@ -1,0 +1,224 @@
+// Tests for per-LIP resource accounting and quotas (paper §6).
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "src/serve/server.h"
+
+namespace symphony {
+namespace {
+
+ServerOptions TinyOptions() {
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  return options;
+}
+
+TEST(QuotaTest, PredTokenBudgetEnforced) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_pred_tokens = 10;
+  int ok_preds = 0;
+  Status blocked;
+  server.LaunchWithQuota("budgeted", quota, [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    for (int i = 0; i < 20; ++i) {
+      StatusOr<std::vector<Distribution>> d =
+          co_await ctx.pred1(kv, static_cast<TokenId>(260 + i));
+      if (d.ok()) {
+        ++ok_preds;
+      } else {
+        blocked = d.status();
+        break;
+      }
+    }
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(ok_preds, 10);
+  EXPECT_EQ(blocked.code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(QuotaTest, MultiTokenPredCountsAllTokens) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_pred_tokens = 5;
+  Status first;
+  Status second;
+  server.LaunchWithQuota("multi", quota, [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> a =
+        co_await ctx.pred_tokens(kv, 260, 261, 262);
+    first = a.status();
+    // 3 used; a 3-token pred exceeds the remaining 2.
+    StatusOr<std::vector<Distribution>> b =
+        co_await ctx.pred_tokens(kv, 263, 264, 265);
+    second = b.status();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_TRUE(first.ok());
+  EXPECT_EQ(second.code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(QuotaTest, ToolCallBudgetEnforced) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  ASSERT_TRUE(server.tools().Register(ToolRegistry::Echo("t", Millis(1))).ok());
+  LipQuota quota;
+  quota.max_tool_calls = 2;
+  int ok_calls = 0;
+  Status blocked;
+  server.LaunchWithQuota("tooler", quota, [&](LipContext& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      StatusOr<std::string> r = co_await ctx.call_tool("t", "x");
+      if (r.ok()) {
+        ++ok_calls;
+      } else {
+        blocked = r.status();
+        break;
+      }
+    }
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(ok_calls, 2);
+  EXPECT_EQ(blocked.code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(QuotaTest, ThreadQuotaEnforced) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_threads = 3;  // Main thread + 2 spawns.
+  std::vector<ThreadId> spawned;
+  server.LaunchWithQuota("spawner", quota, [&](LipContext& ctx) -> Task {
+    for (int i = 0; i < 5; ++i) {
+      spawned.push_back(ctx.spawn([](LipContext&) -> Task { co_return; }));
+    }
+    co_await ctx.join_all();
+    co_return;
+  });
+  sim.Run();
+  ASSERT_EQ(spawned.size(), 5u);
+  EXPECT_NE(spawned[0], 0u);
+  EXPECT_NE(spawned[1], 0u);
+  EXPECT_EQ(spawned[2], 0u);  // Third spawn (4th thread) denied.
+  EXPECT_EQ(spawned[3], 0u);
+  EXPECT_EQ(spawned[4], 0u);
+}
+
+TEST(QuotaTest, KvPageQuotaEnforcedOnPred) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_kv_pages = 2;  // 32 tokens at 16 tokens/page.
+  Status blocked;
+  uint64_t reached = 0;
+  server.LaunchWithQuota("pager", quota, [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    std::vector<TokenId> prompt(48, 260);  // Needs 3 pages.
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, prompt);
+    blocked = d.status();
+    reached = *ctx.kv_len(kv);
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(blocked.code(), StatusCode::kQuotaExceeded);
+  // The scheduler retried until the budget ran out; the file never grew past
+  // the quota.
+  EXPECT_LE(reached, 32u);
+}
+
+TEST(QuotaTest, KvPageQuotaCountsForks) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_kv_pages = 3;
+  Status fork_status;
+  server.LaunchWithQuota("forker", quota, [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    std::vector<TokenId> prompt(32, 260);  // 2 pages.
+    (void)co_await ctx.pred(kv, prompt);
+    // A fork duplicates 2 page references -> 4 > 3.
+    fork_status = ctx.kv_fork(kv).status();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(fork_status.code(), StatusCode::kQuotaExceeded);
+}
+
+TEST(QuotaTest, UsageIsQueryable) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  ASSERT_TRUE(server.tools().Register(ToolRegistry::Echo("t", Millis(1))).ok());
+  LipUsage snapshot;
+  server.Launch("observer", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    (void)co_await ctx.pred_tokens(kv, 260, 261, 262);
+    (void)co_await ctx.call_tool("t", "x");
+    ctx.spawn([](LipContext&) -> Task { co_return; });
+    co_await ctx.join_all();
+    snapshot = ctx.usage();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(snapshot.pred_tokens, 3u);
+  EXPECT_EQ(snapshot.tool_calls, 1u);
+  EXPECT_EQ(snapshot.threads_spawned, 2u);  // Main + child.
+  EXPECT_EQ(snapshot.kv_pages, 1u);         // 3 tokens = 1 page.
+}
+
+TEST(QuotaTest, QuotaIsPerLipNotGlobal) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota tight;
+  tight.max_pred_tokens = 2;
+  Status limited;
+  Status unlimited;
+  server.LaunchWithQuota("tight", tight, [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> d =
+        co_await ctx.pred_tokens(kv, 260, 261, 262);
+    limited = d.status();
+    co_return;
+  });
+  server.Launch("free", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> d =
+        co_await ctx.pred_tokens(kv, 260, 261, 262);
+    unlimited = d.status();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_EQ(limited.code(), StatusCode::kQuotaExceeded);
+  EXPECT_TRUE(unlimited.ok());
+}
+
+TEST(QuotaTest, PagesReleasedOnCloseReturnToBudget) {
+  Simulator sim;
+  SymphonyServer server(&sim, TinyOptions());
+  LipQuota quota;
+  quota.max_kv_pages = 2;
+  Status second_round;
+  server.LaunchWithQuota("recycler", quota, [&](LipContext& ctx) -> Task {
+    {
+      KvHandle kv = *ctx.kv_tmp();
+      std::vector<TokenId> prompt(32, 260);  // Exactly 2 pages: fits.
+      (void)co_await ctx.pred(kv, prompt);
+      (void)ctx.kv_close(kv);  // Releases both pages.
+    }
+    KvHandle kv2 = *ctx.kv_tmp();
+    std::vector<TokenId> prompt(32, 261);
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv2, prompt);
+    second_round = d.status();
+    co_return;
+  });
+  sim.Run();
+  EXPECT_TRUE(second_round.ok()) << second_round;
+}
+
+}  // namespace
+}  // namespace symphony

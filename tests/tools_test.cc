@@ -1,0 +1,87 @@
+// Tests for the server-side tool registry.
+#include <gtest/gtest.h>
+
+#include "src/tools/tool_registry.h"
+
+namespace symphony {
+namespace {
+
+TEST(ToolRegistryTest, RegisterAndRun) {
+  ToolRegistry registry;
+  ASSERT_TRUE(registry.Register(ToolRegistry::Echo("echo", Millis(3))).ok());
+  EXPECT_TRUE(registry.Has("echo"));
+  StatusOr<ToolInvocation> run = registry.Run("echo", "hello");
+  ASSERT_TRUE(run.ok());
+  EXPECT_EQ(run->output, "echo:hello");
+  EXPECT_EQ(run->latency, Millis(3));
+  EXPECT_TRUE(run->status.ok());
+}
+
+TEST(ToolRegistryTest, UnknownToolNotFound) {
+  ToolRegistry registry;
+  EXPECT_EQ(registry.Run("nope", "").status().code(), StatusCode::kNotFound);
+}
+
+TEST(ToolRegistryTest, DuplicateRejected) {
+  ToolRegistry registry;
+  ASSERT_TRUE(registry.Register(ToolRegistry::Echo("t", Millis(1))).ok());
+  EXPECT_EQ(registry.Register(ToolRegistry::Echo("t", Millis(2))).code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(ToolRegistryTest, InvalidSpecRejected) {
+  ToolRegistry registry;
+  ToolSpec empty;
+  EXPECT_EQ(registry.Register(empty).code(), StatusCode::kInvalidArgument);
+}
+
+TEST(ToolRegistryTest, NamesSorted) {
+  ToolRegistry registry;
+  ASSERT_TRUE(registry.Register(ToolRegistry::Echo("zeta", Millis(1))).ok());
+  ASSERT_TRUE(registry.Register(ToolRegistry::Echo("alpha", Millis(1))).ok());
+  EXPECT_EQ(registry.Names(), (std::vector<std::string>{"alpha", "zeta"}));
+}
+
+TEST(ToolRegistryTest, LookupDeterministicPerArgs) {
+  ToolRegistry a(77);
+  ToolRegistry b(77);
+  ASSERT_TRUE(a.Register(ToolRegistry::Lookup("fetch", Millis(50))).ok());
+  ASSERT_TRUE(b.Register(ToolRegistry::Lookup("fetch", Millis(50))).ok());
+  StatusOr<ToolInvocation> ra = a.Run("fetch", "topic-1");
+  StatusOr<ToolInvocation> rb = b.Run("fetch", "topic-1");
+  ASSERT_TRUE(ra.ok());
+  ASSERT_TRUE(rb.ok());
+  EXPECT_EQ(ra->output, rb->output);
+  EXPECT_EQ(ra->latency, rb->latency);
+  EXPECT_GT(ra->latency, 0);
+}
+
+TEST(ToolRegistryTest, LookupLatencyVaries) {
+  ToolRegistry registry(5);
+  ASSERT_TRUE(registry.Register(ToolRegistry::Lookup("fetch", Millis(50), 1.0)).ok());
+  SimDuration first = registry.Run("fetch", "a")->latency;
+  SimDuration second = registry.Run("fetch", "b")->latency;
+  EXPECT_NE(first, second);
+}
+
+TEST(ToolRegistryTest, CalculatorBasics) {
+  ToolRegistry registry;
+  ASSERT_TRUE(registry.Register(ToolRegistry::Calculator("calc", Millis(1))).ok());
+  EXPECT_EQ(registry.Run("calc", "2 + 3")->output, "5");
+  EXPECT_EQ(registry.Run("calc", "10 * 7")->output, "70");
+  EXPECT_EQ(registry.Run("calc", "9 - 12")->output, "-3");
+  EXPECT_EQ(registry.Run("calc", "20 / 4")->output, "5");
+}
+
+TEST(ToolRegistryTest, CalculatorErrors) {
+  ToolRegistry registry;
+  ASSERT_TRUE(registry.Register(ToolRegistry::Calculator("calc", Millis(1))).ok());
+  EXPECT_EQ(registry.Run("calc", "1 / 0")->status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Run("calc", "1 % 2")->status.code(),
+            StatusCode::kInvalidArgument);
+  EXPECT_EQ(registry.Run("calc", "")->status.code(), StatusCode::kInvalidArgument);
+}
+
+}  // namespace
+}  // namespace symphony

@@ -1,0 +1,105 @@
+// Tests for the Chrome-trace recorder and its serving-stack integration.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "src/serve/server.h"
+#include "src/sim/trace.h"
+
+namespace symphony {
+namespace {
+
+TEST(TraceTest, SpanSerializesToChromeEvent) {
+  TraceRecorder trace;
+  trace.Span("gpu", "batch n=4", Millis(10), Millis(25));
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"ts\":10000.000"), std::string::npos);
+  EXPECT_NE(json.find("\"dur\":25000.000"), std::string::npos);
+  EXPECT_NE(json.find("batch n=4"), std::string::npos);
+}
+
+TEST(TraceTest, InstantAndCounter) {
+  TraceRecorder trace;
+  trace.Instant("lips", "launch", Micros(5));
+  trace.Counter("queue_depth", Micros(7), 12.0);
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"ph\":\"i\""), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"C\""), std::string::npos);
+  EXPECT_NE(json.find("queue_depth"), std::string::npos);
+  EXPECT_EQ(trace.event_count(), 2u);
+}
+
+TEST(TraceTest, EscapesSpecialCharacters) {
+  TraceRecorder trace;
+  trace.Span("t", "quote\"back\\slash\nnl", 0, 1);
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("quote\\\"back\\\\slash\\nnl"), std::string::npos);
+}
+
+TEST(TraceTest, DistinctTracksGetDistinctTids) {
+  TraceRecorder trace;
+  trace.Span("gpu", "a", 0, 1);
+  trace.Span("lips", "b", 0, 1);
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("\"tid\":0"), std::string::npos);
+  EXPECT_NE(json.find("\"tid\":1"), std::string::npos);
+}
+
+TEST(TraceTest, WritesFile) {
+  TraceRecorder trace;
+  trace.Span("gpu", "x", 0, Millis(1));
+  std::string path = ::testing::TempDir() + "/symphony_trace_test.json";
+  ASSERT_TRUE(trace.WriteChromeJson(path).ok());
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  ASSERT_NE(file, nullptr);
+  char buffer[64] = {0};
+  size_t n = std::fread(buffer, 1, sizeof(buffer) - 1, file);
+  std::fclose(file);
+  std::remove(path.c_str());
+  EXPECT_GT(n, 0u);
+  EXPECT_EQ(std::string(buffer).substr(0, 15), "{\"traceEvents\":");
+}
+
+TEST(TraceTest, ServerEmitsBatchLipAndToolSpans) {
+  Simulator sim;
+  TraceRecorder trace;
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  options.trace = &trace;
+  SymphonyServer server(&sim, options);
+  ASSERT_TRUE(server.tools().Register(ToolRegistry::Echo("t", Millis(3))).ok());
+
+  server.Launch("traced-lip", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    (void)co_await ctx.pred_tokens(kv, 260, 261);
+    (void)co_await ctx.call_tool("t", "x");
+    co_return;
+  });
+  sim.Run();
+
+  std::string json = trace.ToChromeJson();
+  EXPECT_NE(json.find("batch n=1"), std::string::npos);
+  EXPECT_NE(json.find("traced-lip"), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"t\""), std::string::npos);
+  EXPECT_GE(trace.event_count(), 3u);
+}
+
+TEST(TraceTest, NoTraceMeansNoOverheadPath) {
+  // Without a recorder, nothing is recorded and nothing crashes.
+  Simulator sim;
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  SymphonyServer server(&sim, options);
+  server.Launch("untraced", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    (void)co_await ctx.pred_tokens(kv, 260);
+    co_return;
+  });
+  sim.Run();
+  SUCCEED();
+}
+
+}  // namespace
+}  // namespace symphony
