@@ -1,0 +1,195 @@
+// Recovery benchmark: checkpoint/restore cost for journaled LIPs.
+//
+// Part 1 (end-to-end): a long-context LIP runs on a 2-replica cluster with
+// recovery enabled; its replica is killed at a swept fraction of the
+// baseline finish time and the LIP replays on the survivor. Reports recovery
+// latency (finish delay vs an unkilled run) and the wasted-token ratio
+// (device tokens processed / baseline tokens) for both KV-rebuild modes:
+//   * recompute       — replay resubmits the journaled preds to the GPU;
+//   * snapshot-import — replay imports journaled TokenRecords into host KV
+//                       and pays one PCIe restore on the next live pred.
+// Part 2 (analytic crossover): Replayer::ImportCost vs RecomputeCost swept
+// over cached-context length and PCIe bandwidth; reports the token count
+// where importing becomes cheaper than recomputing.
+//
+// Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/recovery/replayer.h"
+#include "src/serve/cluster.h"
+
+namespace symphony {
+namespace {
+
+// A worker with a large cached context: prefill `prefix_tokens`, then decode
+// `decode_tokens` one at a time. Deterministic given the LIP's RNG seed.
+LipProgram MakeWorker(int prefix_tokens, int decode_tokens) {
+  return [prefix_tokens, decode_tokens](LipContext& ctx) -> Task {
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < prefix_tokens; ++i) {
+      prompt.push_back(static_cast<TokenId>(kFirstWordToken + (i % 1000)));
+    }
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> first = co_await ctx.pred(kv, prompt);
+    if (!first.ok()) {
+      co_return;
+    }
+    TokenId t = first->back().Sample(ctx.uniform(), 0.8);
+    for (int i = 0; i < decode_tokens; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      if (!d.ok()) {
+        co_return;
+      }
+      t = d->back().Sample(ctx.uniform(), 0.8);
+      ctx.emit(" " + std::to_string(t));
+    }
+    co_return;
+  };
+}
+
+struct RunResult {
+  double finish_s = 0.0;
+  uint64_t device_tokens = 0;  // Pred tokens processed across all replicas.
+  std::string output;
+  bool diverged = false;
+};
+
+uint64_t ClusterDeviceTokens(SymphonyCluster& cluster) {
+  uint64_t total = 0;
+  for (size_t i = 0; i < cluster.replica_count(); ++i) {
+    total += cluster.replica(i).device().stats().new_tokens;
+  }
+  return total;
+}
+
+RunResult RunOnce(int prefix_tokens, int decode_tokens, RecoveryMode mode,
+                  double kill_frac, double baseline_finish_s) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.enable_recovery = true;
+  options.recovery_mode = mode;
+  SymphonyCluster cluster(&sim, options);
+
+  SymphonyCluster::ClusterLip id = cluster.Launch(
+      "worker", "", MakeWorker(prefix_tokens, decode_tokens));
+  RunResult result;
+  if (kill_frac > 0.0) {
+    sim.RunUntil(DurationFromSeconds(kill_frac * baseline_finish_s));
+    (void)cluster.KillReplica(id.replica);
+  }
+  sim.Run();
+  result.finish_s = ToSeconds(sim.now());
+  result.device_tokens = ClusterDeviceTokens(cluster);
+  result.output = cluster.Output(id);
+  result.diverged = cluster.Snapshot().replay_divergences != 0;
+  return result;
+}
+
+void EndToEndSweep() {
+  constexpr int kPrefix = 2048;
+  constexpr int kDecode = 48;
+  RunResult baseline =
+      RunOnce(kPrefix, kDecode, RecoveryMode::kAuto, /*kill_frac=*/0.0, 0.0);
+
+  BenchTable table({"mode", "kill_frac", "recovery_ms", "wasted_ratio",
+                    "device_tokens", "bit_identical"});
+  for (RecoveryMode mode :
+       {RecoveryMode::kRecompute, RecoveryMode::kImportSnapshot}) {
+    for (double frac : {0.1, 0.25, 0.5, 0.75, 0.9}) {
+      RunResult killed =
+          RunOnce(kPrefix, kDecode, mode, frac, baseline.finish_s);
+      double recovery_ms = (killed.finish_s - baseline.finish_s) * 1e3;
+      double wasted = static_cast<double>(killed.device_tokens) /
+                      static_cast<double>(baseline.device_tokens);
+      bool identical = !killed.diverged && killed.output == baseline.output;
+      table.AddRow({RecoveryModeName(mode), Fmt(frac), Fmt(recovery_ms),
+                    Fmt(wasted, 3), std::to_string(killed.device_tokens),
+                    identical ? "yes" : "NO"});
+      std::printf(
+          "JSON {\"bench\":\"recovery\",\"part\":\"end_to_end\","
+          "\"mode\":\"%s\",\"kill_frac\":%.2f,\"recovery_ms\":%.3f,"
+          "\"wasted_ratio\":%.4f,\"device_tokens\":%llu,"
+          "\"bit_identical\":%s}\n",
+          RecoveryModeName(mode), frac, recovery_ms, wasted,
+          static_cast<unsigned long long>(killed.device_tokens),
+          identical ? "true" : "false");
+    }
+  }
+  std::printf("\nbaseline: finish=%.3fs device_tokens=%llu (prefix=%d decode=%d)\n",
+              baseline.finish_s,
+              static_cast<unsigned long long>(baseline.device_tokens), kPrefix,
+              kDecode);
+  table.Print("kill/replay on 2-replica cluster (Llama13B, A100)");
+}
+
+// First context length (scanning powers-of-two style steps) where importing
+// the journaled KV beats recomputing it; 0 if import never wins in range.
+uint64_t Crossover(const CostModel& cost) {
+  for (uint64_t tokens = 16; tokens <= 1u << 20; tokens += 16) {
+    if (Replayer::ImportCost(cost, tokens) <=
+        Replayer::RecomputeCost(cost, tokens)) {
+      return tokens;
+    }
+  }
+  return 0;
+}
+
+void AnalyticCrossover() {
+  ModelConfig model = ModelConfig::Llama13B();
+  {
+    BenchTable table({"cached_tokens", "import_ms", "recompute_ms", "winner"});
+    CostModel cost(model);
+    for (uint64_t tokens : {64u, 256u, 1024u, 4096u, 16384u, 65536u}) {
+      double import_ms = ToSeconds(Replayer::ImportCost(cost, tokens)) * 1e3;
+      double recompute_ms =
+          ToSeconds(Replayer::RecomputeCost(cost, tokens)) * 1e3;
+      const char* winner = import_ms <= recompute_ms ? "import" : "recompute";
+      table.AddRow({std::to_string(tokens), Fmt(import_ms, 3),
+                    Fmt(recompute_ms, 3), winner});
+      std::printf(
+          "JSON {\"bench\":\"recovery\",\"part\":\"crossover\","
+          "\"cached_tokens\":%llu,\"import_ms\":%.4f,\"recompute_ms\":%.4f,"
+          "\"winner\":\"%s\"}\n",
+          static_cast<unsigned long long>(tokens), import_ms, recompute_ms,
+          winner);
+    }
+    table.Print("KV rebuild cost: PCIe import vs GPU recompute (Llama13B)");
+    std::printf("crossover: import wins from %llu cached tokens (A100 PCIe)\n",
+                static_cast<unsigned long long>(Crossover(cost)));
+  }
+  {
+    // The crossover point is a PCIe-bandwidth property: slower links push it
+    // toward longer contexts.
+    BenchTable table({"pcie_GBps", "crossover_tokens", "speedup@4k"});
+    for (double gbps : {8.0, 16.0, 25.0, 64.0}) {
+      HardwareConfig hw = HardwareConfig::A100();
+      hw.pcie_bandwidth = gbps * 1e9;
+      CostModel cost(model, hw);
+      uint64_t cross = Crossover(cost);
+      double speedup = ToSeconds(Replayer::RecomputeCost(cost, 4096)) /
+                       ToSeconds(Replayer::ImportCost(cost, 4096));
+      table.AddRow({Fmt(gbps, 0), std::to_string(cross), Fmt(speedup)});
+      std::printf(
+          "JSON {\"bench\":\"recovery\",\"part\":\"pcie_sweep\","
+          "\"pcie_gbps\":%.0f,\"crossover_tokens\":%llu,"
+          "\"speedup_4k\":%.3f}\n",
+          gbps, static_cast<unsigned long long>(cross), speedup);
+    }
+    table.Print("import/recompute crossover vs PCIe bandwidth");
+  }
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  std::printf("bench_recovery: journal replay cost — recompute vs snapshot import\n");
+  symphony::AnalyticCrossover();
+  symphony::EndToEndSweep();
+  return 0;
+}

@@ -419,6 +419,75 @@ Status Kvfs::Append(KvHandle handle, std::span<const TokenRecord> records) {
   return Status::Ok();
 }
 
+StatusOr<KvFileSnapshot> Kvfs::ExportSnapshot(KvHandle handle) const {
+  SYMPHONY_ASSIGN_OR_RETURN(const HandleEntry* entry, ResolveHandle(handle));
+  if (!entry->can_read) {
+    return PermissionDeniedError("snapshot export on write-only handle");
+  }
+  const FileEntry& file = files_[entry->file];
+  KvFileSnapshot snapshot;
+  snapshot.path = file.unlinked ? std::string() : file.path;
+  snapshot.mode = file.mode;
+  uint64_t length = file.data->length();
+  snapshot.records.reserve(length);
+  for (uint64_t i = 0; i < length; ++i) {
+    SYMPHONY_ASSIGN_OR_RETURN(TokenRecord rec, file.data->At(i));
+    snapshot.records.push_back(rec);
+  }
+  ++stats_.snapshot_exports;
+  return snapshot;
+}
+
+StatusOr<KvHandle> Kvfs::ImportSnapshot(const KvFileSnapshot& snapshot,
+                                        LipId requester, Tier tier) {
+  SYMPHONY_ASSIGN_OR_RETURN(KvHandle handle, CreateAnonymous(requester));
+  Status st = ImportRecords(handle, snapshot.records, tier);
+  if (!st.ok()) {
+    (void)Close(handle);
+    return st;
+  }
+  SYMPHONY_ASSIGN_OR_RETURN(HandleEntry * entry, ResolveHandle(handle));
+  files_[entry->file].mode = snapshot.mode;
+  ++stats_.snapshot_imports;
+  return handle;
+}
+
+Status Kvfs::ImportRecords(KvHandle handle,
+                           std::span<const TokenRecord> records, Tier tier) {
+  SYMPHONY_ASSIGN_OR_RETURN(HandleEntry * entry, ResolveHandle(handle));
+  if (!entry->can_write) {
+    ++stats_.acl_denials;
+    return PermissionDeniedError("import on read-only handle");
+  }
+  FileId file_id = entry->file;
+  LipId requester = entry->requester;
+  if (files_[file_id].lock_holder != kNoLip &&
+      files_[file_id].lock_holder != requester) {
+    return FailedPreconditionError("file locked by another lip");
+  }
+  uint64_t original_length = files_[file_id].data->length();
+  for (const TokenRecord& rec : records) {
+    Status st;
+    if (tier == Tier::kGpu) {
+      st = AppendWithEviction(files_[file_id], rec);
+    } else {
+      st = files_[file_id].data->Append(rec, tier);
+      if (st.ok() && OverPageQuota(files_[file_id].owner)) {
+        st = QuotaExceededError("kv page quota exceeded for lip " +
+                                std::to_string(files_[file_id].owner));
+      }
+    }
+    if (!st.ok()) {
+      // Imports are atomic: roll back the partial span.
+      (void)files_[file_id].data->Truncate(original_length);
+      return st;
+    }
+  }
+  stats_.imported_tokens += records.size();
+  files_[file_id].last_access = Now();
+  return Status::Ok();
+}
+
 StatusOr<TokenRecord> Kvfs::Read(KvHandle handle, uint64_t index) {
   SYMPHONY_ASSIGN_OR_RETURN(HandleEntry * entry, ResolveHandle(handle));
   if (!entry->can_read) {

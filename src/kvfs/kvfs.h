@@ -91,6 +91,19 @@ struct KvfsStats {
   uint64_t offloaded_pages = 0;
   uint64_t restored_pages = 0;
   uint64_t acl_denials = 0;
+  uint64_t snapshot_exports = 0;
+  uint64_t snapshot_imports = 0;
+  uint64_t imported_tokens = 0;  // Records written via Import{Records,Snapshot}.
+};
+
+// Portable, replica-independent copy of one KV file's logical contents
+// (checkpoint/restore, src/recovery). TokenRecords are pure data — token,
+// position, hidden state — so a snapshot can be imported into any replica's
+// KVFS and the pages rematerialized there.
+struct KvFileSnapshot {
+  std::string path;  // Empty for anonymous files.
+  uint8_t mode = kModePrivate;
+  std::vector<TokenRecord> records;
 };
 
 class Kvfs {
@@ -135,6 +148,23 @@ class Kvfs {
   StatusOr<KvHandle> Merge(std::span<const KvHandle> sources, LipId requester);
 
   Status Append(KvHandle handle, std::span<const TokenRecord> records);
+
+  // ---- Snapshot export/import (checkpoint/restore, src/recovery) -------
+
+  // Copies the file's logical contents into a portable snapshot.
+  StatusOr<KvFileSnapshot> ExportSnapshot(KvHandle handle) const;
+
+  // Materializes `snapshot` as a new anonymous file owned by `requester`,
+  // with pages allocated in `tier` (host by default: the restore path pays
+  // PCIe lazily, when a pred first needs the file on-device).
+  StatusOr<KvHandle> ImportSnapshot(const KvFileSnapshot& snapshot,
+                                    LipId requester, Tier tier = Tier::kHost);
+
+  // Bulk-appends records into an existing file with pages in `tier`.
+  // Atomic like Append, but host-tier imports skip GPU eviction pressure.
+  Status ImportRecords(KvHandle handle, std::span<const TokenRecord> records,
+                       Tier tier);
+
   StatusOr<TokenRecord> Read(KvHandle handle, uint64_t index);
   StatusOr<uint64_t> Length(KvHandle handle) const;
   StatusOr<HiddenState> TailState(KvHandle handle) const;
@@ -250,7 +280,8 @@ class Kvfs {
   uint64_t bytes_per_page_ = static_cast<uint64_t>(kPageTokens) * 819200;
   uint64_t pending_transfer_bytes_ = 0;
   SimTime fallback_clock_ = 0;
-  KvfsStats stats_;
+  // Mutable: const introspection paths (ExportSnapshot) still count.
+  mutable KvfsStats stats_;
 };
 
 }  // namespace symphony

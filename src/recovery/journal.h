@@ -1,0 +1,165 @@
+// Syscall journaling for LIP checkpoint/restore (crash recovery + migration).
+//
+// A LIP is a deterministic function of its system-call results: given the
+// same pred distributions, tool outputs, IPC deliveries, and RNG stream, the
+// program makes the same decisions and emits the same output. Symphony never
+// serializes a C++ coroutine frame; instead the runtime records, per LIP, an
+// ordered per-thread log of completed syscall results. Re-launching the same
+// program with (a) the journaled RNG seed and (b) the log fed back at the
+// syscall boundary fast-forwards it deterministically to its pre-failure
+// point on any replica — the record/replay insight of deterministic
+// simulation applied to serving.
+//
+// What is recorded, and how each class of nondeterminism is replayed:
+//   * pred     — entry per completed call: tokens, positions, and the hidden
+//                state after each token (the Distribution is reconstructible
+//                from state + model config, and the states ARE the KV-file
+//                records, i.e. the journal doubles as an incremental
+//                KvFileSnapshot of every file the LIP wrote).
+//   * tools    — entry per completed call: status + output payload.
+//   * sleep    — entry per completed sleep; replay skips the wait.
+//   * IPC recv — entry per delivered message; replay re-executes IPC
+//                naturally (co-replayed LIPs re-send and re-receive through
+//                real channels) and uses the recorded payload only to detect
+//                divergence.
+//   * RNG      — replayed by reseeding: the journal stores the LIP's rng
+//                seed and the program re-draws the identical stream, so
+//                individual draws need no log entries.
+//   * KV calls — re-executed against the target replica's KVFS; results are
+//                deterministic in program order, so re-execution rebuilds
+//                handle lineage (and, with it, per-LIP page accounting).
+//
+// Thread identity across replicas: numeric ThreadIds are allocator-dependent,
+// so logs are keyed by the thread's *spawn path* — "0" for the root thread,
+// parent.path + "." + k for the k-th thread the parent spawned. The path is
+// invariant under replay regardless of interleaving.
+//
+// Determinism contract: replay guarantees bit-identical output for programs
+// that are data-race-free under the LIP memory model — cross-thread effects
+// (emit order, shared KV writes, multi-consumer channels) must be ordered by
+// program order or synchronization (join / recv / kv_lock). Programs that
+// branch on wall-clock virtual time (ctx.now()) are outside the contract.
+//
+// Open item (ROADMAP): journals grow with the LIP; incremental truncation
+// after a durable KV checkpoint would bound them.
+#ifndef SRC_RECOVERY_JOURNAL_H_
+#define SRC_RECOVERY_JOURNAL_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvfs/types.h"
+#include "src/model/tokenizer.h"
+#include "src/sim/time.h"
+
+namespace symphony {
+
+// How a journaled LIP's KV state is rebuilt on the target replica.
+enum class RecoveryMode {
+  // Pick kImportSnapshot or kRecompute per LIP, whichever the cost model
+  // says is cheaper for its journaled token count.
+  kAuto,
+  // Re-run every journaled pred on the target device: pays the full prefill
+  // compute again, needs no KV transfer.
+  kRecompute,
+  // Feed pred results from the journal and import the journaled TokenRecords
+  // into the KV file on the host tier (a KvFileSnapshot import); the next
+  // live pred restores them on-device, paying only PCIe.
+  kImportSnapshot,
+};
+
+inline const char* RecoveryModeName(RecoveryMode mode) {
+  switch (mode) {
+    case RecoveryMode::kAuto:
+      return "auto";
+    case RecoveryMode::kRecompute:
+      return "recompute";
+    case RecoveryMode::kImportSnapshot:
+      return "import";
+  }
+  return "?";
+}
+
+struct JournalEntry {
+  enum class Kind : uint8_t { kPred, kTool, kSleep, kRecv };
+  Kind kind = Kind::kPred;
+  Status status;  // Completion status (pred and tool entries).
+
+  // kPred: the request and the resulting per-token hidden states. states[i]
+  // is the state after consuming tokens[i]; together with tokens/positions
+  // these are exactly the TokenRecords the executor appended.
+  std::vector<TokenId> tokens;
+  std::vector<int32_t> positions;
+  std::vector<uint64_t> states;
+
+  // kTool: output payload. kRecv: the delivered message.
+  std::string payload;
+
+  // kSleep: requested duration (alignment check only; replay skips it).
+  SimDuration duration = 0;
+};
+
+// Per-LIP journal. Owned jointly by the serving layer (which keeps it across
+// the LIP's death) and the runtime (which appends to it); copy the journal
+// before handing it to a replay so the original stays a consistent record.
+class SyscallJournal {
+ public:
+  // ---- Launch metadata (everything needed to re-launch the LIP) ---------
+  std::string name;
+  uint64_t rng_seed = 0;
+  // Quota captured at SetQuota time so a replayed LIP resumes under the same
+  // limits (usage itself is rebuilt by re-execution — see runtime.cc).
+  bool has_quota = false;
+  uint64_t quota_max_pred_tokens = UINT64_MAX;
+  uint64_t quota_max_tool_calls = UINT64_MAX;
+  uint32_t quota_max_threads = UINT32_MAX;
+  uint64_t quota_max_kv_pages = UINT64_MAX;
+
+  // ---- The log ----------------------------------------------------------
+
+  const std::unordered_map<std::string, std::vector<JournalEntry>>& threads()
+      const {
+    return threads_;
+  }
+
+  void Append(const std::string& thread_path, JournalEntry entry) {
+    if (entry.kind == JournalEntry::Kind::kPred) {
+      pred_tokens_ += entry.tokens.size();
+    }
+    ++total_entries_;
+    threads_[thread_path].push_back(std::move(entry));
+  }
+
+  // Entry at `index` within `thread_path`'s log, or nullptr past the end.
+  const JournalEntry* At(const std::string& thread_path, size_t index) const {
+    auto it = threads_.find(thread_path);
+    if (it == threads_.end() || index >= it->second.size()) {
+      return nullptr;
+    }
+    return &it->second[index];
+  }
+
+  size_t EntryCount(const std::string& thread_path) const {
+    auto it = threads_.find(thread_path);
+    return it == threads_.end() ? 0 : it->second.size();
+  }
+
+  uint64_t total_entries() const { return total_entries_; }
+
+  // Tokens across all journaled preds: the "cached tokens" a recovery must
+  // rebuild, and the input to the recompute-vs-import cost decision.
+  uint64_t pred_tokens() const { return pred_tokens_; }
+
+ private:
+  std::unordered_map<std::string, std::vector<JournalEntry>> threads_;
+  uint64_t total_entries_ = 0;
+  uint64_t pred_tokens_ = 0;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_RECOVERY_JOURNAL_H_

@@ -1,0 +1,53 @@
+// Replayer: re-launches a journaled LIP on a target runtime and drives it
+// through replay (see journal.h for the record/replay design).
+//
+// The cost decision (§ tentpole): rebuilding a recovered LIP's KV cache can
+// either re-run every journaled pred on the target device (full prefill
+// compute, no transfer) or import the journaled TokenRecords host-side and
+// pay PCIe when the next live pred restores them. Choose() compares the two
+// using the serving cost model; kAuto resolves to whichever is cheaper for
+// the journal's token count.
+#ifndef SRC_RECOVERY_REPLAYER_H_
+#define SRC_RECOVERY_REPLAYER_H_
+
+#include <functional>
+#include <memory>
+
+#include "src/model/cost_model.h"
+#include "src/recovery/journal.h"
+#include "src/runtime/runtime.h"
+
+namespace symphony {
+
+struct ReplayOutcome {
+  LipId lip = kNoLip;             // The relaunched LIP on the target runtime.
+  RecoveryMode mode = RecoveryMode::kRecompute;  // kAuto resolved.
+  uint64_t journaled_pred_tokens = 0;
+};
+
+class Replayer {
+ public:
+  // Virtual-time estimate of rebuilding `tokens` cached KV tokens by PCIe
+  // import (page-granular) vs. by one recompute prefill batch.
+  static SimDuration ImportCost(const CostModel& cost, uint64_t tokens);
+  static SimDuration RecomputeCost(const CostModel& cost, uint64_t tokens);
+
+  // The cheaper of the two for this token count (never returns kAuto).
+  static RecoveryMode Choose(const CostModel& cost, uint64_t tokens);
+
+  // Re-launches the journaled program on `runtime` and begins replay. The
+  // journal is adopted by the new LIP (it keeps recording once replay
+  // exhausts the log) — pass a copy if the original must stay immutable.
+  // `config` is the serving model config, needed to reconstruct
+  // Distributions from journaled states in import mode.
+  static ReplayOutcome Replay(LipRuntime& runtime, const CostModel& cost,
+                              const ModelConfig* config,
+                              std::shared_ptr<SyscallJournal> journal,
+                              LipProgram program,
+                              RecoveryMode mode = RecoveryMode::kAuto,
+                              std::function<void(LipId)> on_exit = nullptr);
+};
+
+}  // namespace symphony
+
+#endif  // SRC_RECOVERY_REPLAYER_H_

@@ -162,10 +162,7 @@ LipContext::PredAwaitable LipContext::pred1(KvHandle kv, TokenId token) {
 
 void LipContext::SleepAwaitable::await_suspend(std::coroutine_handle<> frame) {
   runtime_->SetResumePoint(frame);
-  ThreadId self = runtime_->current_thread();
-  runtime_->BlockCurrent();
-  runtime_->simulator()->ScheduleAfter(duration_,
-                                       [rt = runtime_, self] { rt->Ready(self); });
+  runtime_->SubmitSleep(runtime_->current_thread(), duration_);
 }
 
 }  // namespace symphony

@@ -49,12 +49,22 @@ const LipRuntime::Process& LipRuntime::GetProcess(LipId lip) const {
 
 LipId LipRuntime::Launch(std::string name, LipProgram program,
                          std::function<void(LipId)> on_exit) {
+  return LaunchWithSeed(std::move(name),
+                        Mix64(options_.seed ^ (0x11b0000ULL + next_lip_)),
+                        std::move(program), std::move(on_exit));
+}
+
+LipId LipRuntime::LaunchWithSeed(std::string name, uint64_t rng_seed,
+                                 LipProgram program,
+                                 std::function<void(LipId)> on_exit) {
+  assert(!halted_ && "launch on a halted runtime");
   LipId lip = next_lip_++;
   Process& proc = processes_[lip];
   proc.id = lip;
   proc.name = std::move(name);
   proc.context = std::make_unique<LipContext>(this, lip);
-  proc.rng = std::make_unique<Rng>(Mix64(options_.seed ^ (0x11b0000ULL + lip)));
+  proc.rng = std::make_unique<Rng>(rng_seed);
+  proc.rng_seed = rng_seed;
   proc.on_exit = std::move(on_exit);
   proc.launch_time = sim_->now();
   ++live_lips_;
@@ -71,8 +81,19 @@ ThreadId LipRuntime::SpawnThread(LipId lip, LipProgram program) {
     return 0;
   }
   ++proc.usage.threads_spawned;
+  // Spawn path: replica-invariant thread identity for the syscall journal.
+  // The root thread is "0"; a child gets parent.path + "." + spawn ordinal.
+  std::string path = "0";
+  if (current_ != 0) {
+    auto parent = threads_.find(current_);
+    if (parent != threads_.end() && parent->second.lip == lip) {
+      path = parent->second.path + "." +
+             std::to_string(parent->second.spawn_seq++);
+    }
+  }
   ThreadId tid = next_thread_++;
   Tcb& tcb = threads_[tid];
+  tcb.path = std::move(path);
   tcb.id = tid;
   tcb.lip = lip;
   tcb.state = ThreadState::kBlocked;  // Ready() flips it below.
@@ -97,7 +118,13 @@ void LipRuntime::SetResumePoint(std::coroutine_handle<> frame) {
 }
 
 void LipRuntime::Ready(ThreadId thread) {
+  if (halted_) {
+    return;  // Replica failure: nothing resumes ever again.
+  }
   Tcb& tcb = GetTcb(thread);
+  if (tcb.state == ThreadState::kKilled) {
+    return;  // Detached LIP: a late completion wrote its slot; drop the wake.
+  }
   assert(tcb.state != ThreadState::kDone && "waking a finished thread");
   if (tcb.state == ThreadState::kReady) {
     return;  // A resume event is already pending.
@@ -110,6 +137,9 @@ void LipRuntime::Ready(ThreadId thread) {
 void LipRuntime::WakeSoon(ThreadId thread) { Ready(thread); }
 
 void LipRuntime::Resume(ThreadId thread) {
+  if (halted_) {
+    return;
+  }
   Tcb& tcb = GetTcb(thread);
   if (tcb.state != ThreadState::kReady) {
     return;  // Stale event.
@@ -180,7 +210,204 @@ void LipRuntime::OnThreadExit(Tcb& tcb) {
 bool LipRuntime::LipDone(LipId lip) const { return GetProcess(lip).done; }
 
 void LipRuntime::SetQuota(LipId lip, LipQuota quota) {
-  GetProcess(lip).quota = quota;
+  Process& proc = GetProcess(lip);
+  proc.quota = quota;
+  if (proc.journal != nullptr) {
+    proc.journal->has_quota = true;
+    proc.journal->quota_max_pred_tokens = quota.max_pred_tokens;
+    proc.journal->quota_max_tool_calls = quota.max_tool_calls;
+    proc.journal->quota_max_threads = quota.max_threads;
+    proc.journal->quota_max_kv_pages = quota.max_kv_pages;
+  }
+}
+
+void LipRuntime::EnableJournal(LipId lip,
+                               std::shared_ptr<SyscallJournal> journal) {
+  assert(journal != nullptr);
+  Process& proc = GetProcess(lip);
+  journal->name = proc.name;
+  journal->rng_seed = proc.rng_seed;
+  LipQuota unlimited;
+  if (proc.quota.max_pred_tokens != unlimited.max_pred_tokens ||
+      proc.quota.max_tool_calls != unlimited.max_tool_calls ||
+      proc.quota.max_threads != unlimited.max_threads ||
+      proc.quota.max_kv_pages != unlimited.max_kv_pages) {
+    journal->has_quota = true;
+    journal->quota_max_pred_tokens = proc.quota.max_pred_tokens;
+    journal->quota_max_tool_calls = proc.quota.max_tool_calls;
+    journal->quota_max_threads = proc.quota.max_threads;
+    journal->quota_max_kv_pages = proc.quota.max_kv_pages;
+  }
+  proc.journal = std::move(journal);
+}
+
+std::shared_ptr<SyscallJournal> LipRuntime::Journal(LipId lip) const {
+  auto it = processes_.find(lip);
+  return it == processes_.end() ? nullptr : it->second.journal;
+}
+
+Status LipRuntime::BeginReplay(LipId lip, RecoveryMode mode,
+                               const ModelConfig* config) {
+  Process& proc = GetProcess(lip);
+  if (proc.journal == nullptr) {
+    return FailedPreconditionError("lip " + std::to_string(lip) +
+                                   " has no journal attached");
+  }
+  if (mode == RecoveryMode::kAuto) {
+    return InvalidArgumentError(
+        "resolve kAuto (Replayer::Choose) before BeginReplay");
+  }
+  if (mode == RecoveryMode::kImportSnapshot && config == nullptr) {
+    return InvalidArgumentError(
+        "snapshot-import replay requires the model config");
+  }
+  auto replay = std::make_unique<Process::ReplayState>();
+  replay->mode = mode;
+  replay->config = config;
+  replay->total = proc.journal->total_entries();
+  replay->start = sim_->now();
+  proc.replay = std::move(replay);
+  ++stats_.lips_replayed;
+  if (proc.replay->total == 0) {
+    proc.replay->complete = true;  // Empty journal: live immediately.
+  }
+  return Status::Ok();
+}
+
+bool LipRuntime::ReplayActive(LipId lip) const {
+  const Process& proc = GetProcess(lip);
+  return proc.replay != nullptr && !proc.replay->complete;
+}
+
+void LipRuntime::Halt() { halted_ = true; }
+
+Status LipRuntime::Detach(LipId lip) {
+  auto pit = processes_.find(lip);
+  if (pit == processes_.end()) {
+    return NotFoundError("no such lip " + std::to_string(lip));
+  }
+  Process& proc = pit->second;
+  if (proc.done) {
+    return FailedPreconditionError("lip " + std::to_string(lip) +
+                                   " already exited");
+  }
+  for (auto& entry : threads_) {
+    Tcb& tcb = entry.second;
+    if (tcb.lip == lip && tcb.state != ThreadState::kDone) {
+      // Keep the frame allocated: an in-flight pred/tool completion may
+      // still write its result slot. ~LipRuntime reclaims it.
+      tcb.state = ThreadState::kKilled;
+      tcb.joiners.clear();
+    }
+  }
+  // Drop the LIP's pending channel waits so a later send is not swallowed
+  // by a dead consumer.
+  for (auto& entry : channels_) {
+    Channel& ch = entry.second;
+    std::deque<std::pair<ThreadId, std::string*>> kept;
+    for (auto& waiter : ch.waiters) {
+      auto tit = threads_.find(waiter.first);
+      if (tit != threads_.end() && tit->second.lip == lip) {
+        continue;
+      }
+      kept.push_back(waiter);
+    }
+    ch.waiters = std::move(kept);
+  }
+  for (KvHandle handle : proc.open_handles) {
+    (void)kvfs_->Close(handle);
+  }
+  proc.open_handles.clear();
+  proc.live_threads = 0;
+  proc.join_all_waiters.clear();
+  proc.done = true;
+  --live_lips_;
+  return Status::Ok();
+}
+
+const JournalEntry* LipRuntime::NextReplayEntry(Process& proc,
+                                                const Tcb& tcb) {
+  return proc.journal->At(tcb.path, proc.replay->cursor[tcb.path]);
+}
+
+void LipRuntime::ConsumeReplayEntry(Process& proc, const Tcb& tcb) {
+  ++proc.replay->cursor[tcb.path];
+  ++proc.replay->consumed;
+  if (proc.replay->consumed >= proc.replay->total) {
+    FinishReplay(proc, /*diverged=*/false);
+  }
+}
+
+void LipRuntime::FinishReplay(Process& proc, bool diverged) {
+  if (proc.replay == nullptr || proc.replay->complete) {
+    return;
+  }
+  proc.replay->complete = true;
+  if (trace_ != nullptr && proc.replay->total > 0) {
+    trace_->Span("recovery",
+                 (diverged ? std::string("replay-diverged:")
+                           : std::string("replay:")) +
+                     proc.name,
+                 proc.replay->start, sim_->now() - proc.replay->start);
+  }
+}
+
+void LipRuntime::ReplayDiverged(Process& proc, const char* what) {
+  ++stats_.replay_divergences;
+  SYMPHONY_LOG(kWarning) << "lip " << proc.id << " replay diverged: " << what;
+  // Fall out of replay: the remaining log cannot be trusted, so the LIP
+  // continues live from here (output identity is no longer guaranteed).
+  FinishReplay(proc, /*diverged=*/true);
+}
+
+void LipRuntime::JournalRecvDelivery(ThreadId thread,
+                                     const std::string& message) {
+  if (halted_) {
+    return;
+  }
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.state == ThreadState::kKilled) {
+    return;
+  }
+  Tcb& tcb = it->second;
+  Process& proc = GetProcess(tcb.lip);
+  if (proc.journal == nullptr) {
+    return;
+  }
+  if (proc.replay != nullptr && !proc.replay->complete) {
+    const JournalEntry* entry = NextReplayEntry(proc, tcb);
+    if (entry != nullptr) {
+      if (entry->kind != JournalEntry::Kind::kRecv ||
+          entry->payload != message) {
+        ReplayDiverged(proc, "recv delivery disagrees with journal");
+      } else {
+        ConsumeReplayEntry(proc, tcb);
+      }
+      return;
+    }
+  }
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kRecv;
+  entry.payload = message;
+  proc.journal->Append(tcb.path, std::move(entry));
+}
+
+void LipRuntime::JournalSleepDone(ThreadId thread, SimDuration duration) {
+  if (halted_) {
+    return;
+  }
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.state == ThreadState::kKilled) {
+    return;
+  }
+  Process& proc = GetProcess(it->second.lip);
+  if (proc.journal == nullptr) {
+    return;
+  }
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kSleep;
+  entry.duration = duration;
+  proc.journal->Append(it->second.path, std::move(entry));
 }
 
 LipUsage LipRuntime::GetUsage(LipId lip) const {
@@ -203,7 +430,11 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
     Ready(thread);
     return;
   }
-  Process& proc = GetProcess(GetTcb(thread).lip);
+  Tcb& tcb = GetTcb(thread);
+  Process& proc = GetProcess(tcb.lip);
+  // Quota is charged before the journal is consulted, on purpose: replayed
+  // re-execution then rebuilds the exact pre-failure LipUsage, and a quota
+  // error reproduces without ever having been journaled.
   if (proc.usage.pred_tokens + tokens.size() > proc.quota.max_pred_tokens) {
     result->status = QuotaExceededError("pred token quota exhausted for lip " +
                                         std::to_string(proc.id));
@@ -211,14 +442,107 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
     return;
   }
   proc.usage.pred_tokens += tokens.size();
+
+  bool from_journal = false;   // Recompute replay: resubmit, verify, no record.
+  size_t verify_index = 0;
+  if (proc.replay != nullptr && !proc.replay->complete) {
+    const JournalEntry* entry = NextReplayEntry(proc, tcb);
+    if (entry != nullptr) {
+      if (entry->kind != JournalEntry::Kind::kPred) {
+        ReplayDiverged(proc, "pred where journal has a different syscall");
+      } else if (proc.replay->mode == RecoveryMode::kImportSnapshot) {
+        // Feed the journaled result without touching the device; import the
+        // journaled TokenRecords into the KV file on the host tier so the
+        // next live pred's restore pays PCIe transfer instead of recompute.
+        ++stats_.preds_replayed;
+        stats_.replay_tokens_imported += entry->tokens.size();
+        result->status = entry->status;
+        if (entry->status.ok()) {
+          std::vector<TokenRecord> records;
+          records.reserve(entry->tokens.size());
+          for (size_t i = 0; i < entry->tokens.size(); ++i) {
+            records.push_back(
+                {entry->tokens[i], entry->positions[i], entry->states[i]});
+          }
+          Status imported = kvfs_->ImportRecords(kv, records, Tier::kHost);
+          if (!imported.ok()) {
+            result->status = imported;
+          } else {
+            result->dists.reserve(entry->states.size());
+            for (uint64_t state : entry->states) {
+              result->dists.emplace_back(state, proc.replay->config);
+            }
+          }
+        }
+        ConsumeReplayEntry(proc, tcb);
+        Ready(thread);
+        return;
+      } else {
+        // kRecompute: fall through to a live submit so the device rebuilds
+        // the KV cache; completion checks it reproduced the journaled states.
+        from_journal = true;
+        verify_index = proc.replay->cursor[tcb.path];
+        ++stats_.preds_replayed;
+        stats_.replay_tokens_recomputed += entry->tokens.size();
+        ConsumeReplayEntry(proc, tcb);
+      }
+    }
+  }
+
   PredRequest request;
-  request.lip = GetTcb(thread).lip;
+  request.lip = tcb.lip;
   request.thread = thread;
   request.kv = kv;
   request.tokens = std::move(tokens);
   request.positions = std::move(positions);
   request.submit_time = sim_->now();
-  request.complete = [this, thread, result](PredResult r) {
+  std::shared_ptr<SyscallJournal> journal = proc.journal;
+  bool record = journal != nullptr && !from_journal;
+  std::vector<TokenId> rec_tokens;
+  std::vector<int32_t> rec_positions;
+  if (record) {
+    rec_tokens = request.tokens;
+    rec_positions = request.positions;
+  }
+  request.complete = [this, thread, result, journal, record, from_journal,
+                      verify_index, path = tcb.path,
+                      rec_tokens = std::move(rec_tokens),
+                      rec_positions = std::move(rec_positions)](
+                         PredResult r) mutable {
+    auto it = threads_.find(thread);
+    bool dead = halted_ || it == threads_.end() ||
+                it->second.state == ThreadState::kKilled;
+    if (!dead && record) {
+      JournalEntry entry;
+      entry.kind = JournalEntry::Kind::kPred;
+      entry.status = r.status;
+      entry.tokens = std::move(rec_tokens);
+      entry.positions = std::move(rec_positions);
+      entry.states.reserve(r.dists.size());
+      for (const Distribution& d : r.dists) {
+        entry.states.push_back(d.state());
+      }
+      journal->Append(path, std::move(entry));
+    } else if (!dead && from_journal) {
+      const JournalEntry* expect = journal->At(path, verify_index);
+      bool match = expect != nullptr &&
+                   r.status.code() == expect->status.code() &&
+                   r.dists.size() == expect->states.size();
+      if (match) {
+        for (size_t i = 0; i < r.dists.size(); ++i) {
+          if (r.dists[i].state() != expect->states[i]) {
+            match = false;
+            break;
+          }
+        }
+      }
+      if (!match) {
+        ++stats_.replay_divergences;
+        SYMPHONY_LOG(kWarning)
+            << "recomputed pred diverged from journal (thread path " << path
+            << ", entry " << verify_index << ")";
+      }
+    }
     *result = std::move(r);
     Ready(thread);
   };
@@ -234,7 +558,8 @@ void LipRuntime::SubmitTool(ThreadId thread, const std::string& tool,
     Ready(thread);
     return;
   }
-  LipId lip = GetTcb(thread).lip;
+  Tcb& tcb = GetTcb(thread);
+  LipId lip = tcb.lip;
   Process& proc = GetProcess(lip);
   if (proc.usage.tool_calls >= proc.quota.max_tool_calls) {
     result->status = QuotaExceededError("tool call quota exhausted for lip " +
@@ -243,11 +568,63 @@ void LipRuntime::SubmitTool(ThreadId thread, const std::string& tool,
     return;
   }
   ++proc.usage.tool_calls;
-  tool_service_->Invoke(lip, thread, tool, args,
-                        [this, thread, result](ToolResult r) {
-                          *result = std::move(r);
-                          Ready(thread);
-                        });
+  if (proc.replay != nullptr && !proc.replay->complete) {
+    const JournalEntry* entry = NextReplayEntry(proc, tcb);
+    if (entry != nullptr) {
+      if (entry->kind != JournalEntry::Kind::kTool) {
+        ReplayDiverged(proc, "tool where journal has a different syscall");
+      } else {
+        // Side-effect-free tools re-serve the recorded output instantly.
+        ++stats_.tools_replayed;
+        result->status = entry->status;
+        result->output = entry->payload;
+        ConsumeReplayEntry(proc, tcb);
+        Ready(thread);
+        return;
+      }
+    }
+  }
+  std::shared_ptr<SyscallJournal> journal = proc.journal;
+  tool_service_->Invoke(
+      lip, thread, tool, args,
+      [this, thread, result, journal, path = tcb.path](ToolResult r) {
+        auto it = threads_.find(thread);
+        bool dead = halted_ || it == threads_.end() ||
+                    it->second.state == ThreadState::kKilled;
+        if (journal != nullptr && !dead) {
+          JournalEntry entry;
+          entry.kind = JournalEntry::Kind::kTool;
+          entry.status = r.status;
+          entry.payload = r.output;
+          journal->Append(path, std::move(entry));
+        }
+        *result = std::move(r);
+        Ready(thread);
+      });
+}
+
+void LipRuntime::SubmitSleep(ThreadId thread, SimDuration duration) {
+  BlockCurrent();
+  Tcb& tcb = GetTcb(thread);
+  Process& proc = GetProcess(tcb.lip);
+  if (proc.replay != nullptr && !proc.replay->complete) {
+    const JournalEntry* entry = NextReplayEntry(proc, tcb);
+    if (entry != nullptr) {
+      if (entry->kind != JournalEntry::Kind::kSleep) {
+        ReplayDiverged(proc, "sleep where journal has a different syscall");
+      } else {
+        // The original run already waited this out; skip the wait.
+        ++stats_.sleeps_replayed;
+        ConsumeReplayEntry(proc, tcb);
+        Ready(thread);
+        return;
+      }
+    }
+  }
+  sim_->ScheduleAfter(duration, [this, thread, duration] {
+    JournalSleepDone(thread, duration);
+    Ready(thread);
+  });
 }
 
 bool LipRuntime::ThreadDone(ThreadId thread) const {
@@ -283,6 +660,7 @@ void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
     auto [waiter, slot] = ch.waiters.front();
     ch.waiters.pop_front();
     *slot = std::move(message);
+    JournalRecvDelivery(waiter, *slot);
     Ready(waiter);
     return;
   }
@@ -296,6 +674,9 @@ bool LipRuntime::ChannelTryRecv(const std::string& channel, std::string* message
   }
   *message = std::move(it->second.messages.front());
   it->second.messages.pop_front();
+  if (current_ != 0) {
+    JournalRecvDelivery(current_, *message);
+  }
   return true;
 }
 

@@ -21,7 +21,9 @@
 #include "src/common/rng.h"
 #include "src/common/status.h"
 #include "src/kvfs/kvfs.h"
+#include "src/model/model_config.h"
 #include "src/model/tokenizer.h"
+#include "src/recovery/journal.h"
 #include "src/runtime/pred_service.h"
 #include "src/runtime/task.h"
 #include "src/sim/event_queue.h"
@@ -37,6 +39,10 @@ enum class ThreadState : uint8_t {
   kRunning,
   kBlocked,
   kDone,
+  // Forcibly detached (LIP migrated away). The coroutine frame is kept
+  // allocated — in-flight completions may still write their result slots —
+  // but the thread never resumes; ~LipRuntime reclaims the frame.
+  kKilled,
 };
 
 struct RuntimeOptions {
@@ -69,6 +75,14 @@ struct RuntimeStats {
   uint64_t preds_submitted = 0;
   uint64_t tools_invoked = 0;
   uint64_t ipc_messages = 0;
+  // Recovery (src/recovery): syscalls answered from a journal during replay.
+  uint64_t lips_replayed = 0;
+  uint64_t preds_replayed = 0;
+  uint64_t tools_replayed = 0;
+  uint64_t sleeps_replayed = 0;
+  uint64_t replay_tokens_imported = 0;    // KV rebuilt via snapshot import.
+  uint64_t replay_tokens_recomputed = 0;  // KV rebuilt by re-running preds.
+  uint64_t replay_divergences = 0;  // Live result disagreed with the journal.
 };
 
 class LipRuntime {
@@ -91,8 +105,46 @@ class LipRuntime {
   LipId Launch(std::string name, LipProgram program,
                std::function<void(LipId)> on_exit = nullptr);
 
+  // Launch with an explicit RNG seed. Replicas decorrelate their default
+  // seeds, so a replayed LIP must be pinned to the seed its journal recorded
+  // for ctx.uniform()/rand64() to re-draw the identical stream.
+  LipId LaunchWithSeed(std::string name, uint64_t rng_seed, LipProgram program,
+                       std::function<void(LipId)> on_exit = nullptr);
+
   bool LipDone(LipId lip) const;
   size_t live_lips() const { return live_lips_; }
+
+  // ---- Checkpoint/restore (src/recovery) -------------------------------
+
+  // Attaches a journal; every completed syscall is recorded from then on.
+  // Must be called before the LIP's first dispatch for a complete record.
+  // Fills the journal's launch metadata (name, rng seed, quota) from the
+  // process. The runtime shares ownership until the LIP is destroyed.
+  void EnableJournal(LipId lip, std::shared_ptr<SyscallJournal> journal);
+
+  // The journal attached to `lip`, or nullptr.
+  std::shared_ptr<SyscallJournal> Journal(LipId lip) const;
+
+  // Switches `lip` into replay: subsequent syscalls consume the attached
+  // journal (per-thread, in order) instead of hitting live services, until
+  // the log is exhausted — from then on the LIP runs live and keeps
+  // recording. Mode must be resolved (not kAuto); kImportSnapshot needs the
+  // model config to reconstruct Distributions from journaled states.
+  Status BeginReplay(LipId lip, RecoveryMode mode, const ModelConfig* config);
+
+  // True while `lip` still has journaled entries to consume.
+  bool ReplayActive(LipId lip) const;
+
+  // Kills the whole runtime (replica failure): no thread ever resumes and
+  // pending completions become no-ops. Coroutine frames stay allocated until
+  // destruction so in-flight completions writing result slots stay safe.
+  void Halt();
+  bool halted() const { return halted_; }
+
+  // Forcibly detaches one live LIP (live migration): marks its threads
+  // killed, closes its KV handles, and fires no on_exit. The attached
+  // journal survives and can be replayed elsewhere.
+  Status Detach(LipId lip);
 
   // Resource accounting (§6). Quotas may be set any time; enforcement is at
   // the system-call boundary from then on.
@@ -140,6 +192,10 @@ class LipRuntime {
   void SubmitTool(ThreadId thread, const std::string& tool, const std::string& args,
                   ToolResult* result);
 
+  // Sleep plumbing (journaled so replay can skip already-served waits).
+  // Caller must have set the resume point; the thread blocks here.
+  void SubmitSleep(ThreadId thread, SimDuration duration);
+
   // Join bookkeeping.
   bool ThreadDone(ThreadId thread) const;
   void AddJoiner(ThreadId target, ThreadId waiter);
@@ -168,6 +224,11 @@ class LipRuntime {
     // Keeps the program callable alive for the coroutine's lifetime: a
     // lambda coroutine's captures live in the lambda object, not the frame.
     LipProgram program;
+    // Spawn path ("0", "0.0", "0.1.2", ...): replica-invariant thread
+    // identity used to key the syscall journal (see journal.h).
+    std::string path = "0";
+    // Number of threads this thread has spawned (next child path suffix).
+    uint32_t spawn_seq = 0;
   };
 
   struct Process {
@@ -184,6 +245,21 @@ class LipRuntime {
     LipQuota quota;
     LipUsage usage;
     SimTime launch_time = 0;
+    // The seed actually used for `rng` (recorded into the journal).
+    uint64_t rng_seed = 0;
+    // Checkpoint/restore state (nullptr when recovery is not in use).
+    std::shared_ptr<SyscallJournal> journal;
+    struct ReplayState {
+      RecoveryMode mode = RecoveryMode::kRecompute;
+      const ModelConfig* config = nullptr;  // For kImportSnapshot.
+      // Per-thread-path read cursor into the journal.
+      std::unordered_map<std::string, size_t> cursor;
+      uint64_t total = 0;
+      uint64_t consumed = 0;
+      bool complete = false;
+      SimTime start = 0;
+    };
+    std::unique_ptr<ReplayState> replay;
   };
 
   struct Channel {
@@ -196,6 +272,20 @@ class LipRuntime {
   Tcb& GetTcb(ThreadId thread);
   Process& GetProcess(LipId lip);
   const Process& GetProcess(LipId lip) const;
+
+  // Replay plumbing. NextReplayEntry returns the next journaled entry for
+  // `tcb`'s thread (nullptr once its log is exhausted — live from then on);
+  // ConsumeReplayEntry advances the cursor and finishes the replay when the
+  // whole journal has been consumed.
+  const JournalEntry* NextReplayEntry(Process& proc, const Tcb& tcb);
+  void ConsumeReplayEntry(Process& proc, const Tcb& tcb);
+  void FinishReplay(Process& proc, bool diverged);
+  void ReplayDiverged(Process& proc, const char* what);
+  // Records a delivered IPC message (or checks it against the journal
+  // during replay). Called at both delivery points: direct handoff in
+  // ChannelSend and successful ChannelTryRecv.
+  void JournalRecvDelivery(ThreadId thread, const std::string& message);
+  void JournalSleepDone(ThreadId thread, SimDuration duration);
 
   Simulator* sim_;
   Kvfs* kvfs_;
@@ -212,6 +302,7 @@ class LipRuntime {
   LipId next_lip_ = kAdminLip + 1;
   ThreadId current_ = 0;
   size_t live_lips_ = 0;
+  bool halted_ = false;
   RuntimeStats stats_;
 };
 

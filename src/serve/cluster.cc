@@ -3,11 +3,13 @@
 #include <cassert>
 
 #include "src/common/hash.h"
+#include "src/common/logging.h"
 
 namespace symphony {
 
 SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
-    : options_(std::move(options)) {
+    : sim_(sim), options_(std::move(options)) {
+  assert(sim != nullptr);
   assert(options_.replicas > 0);
   replicas_.reserve(options_.replicas);
   for (size_t i = 0; i < options_.replicas; ++i) {
@@ -18,26 +20,42 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
     replicas_.push_back(std::make_unique<SymphonyServer>(sim, server_options));
   }
   launched_per_replica_.assign(options_.replicas, 0);
+  dead_.assign(options_.replicas, false);
 }
 
 size_t SymphonyCluster::LeastLoaded() const {
-  size_t best = 0;
-  size_t best_load = replicas_[0]->runtime().live_lips();
-  for (size_t i = 1; i < replicas_.size(); ++i) {
+  size_t best = replicas_.size();
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (dead_[i]) {
+      continue;
+    }
     size_t load = replicas_[i]->runtime().live_lips();
     if (load < best_load) {
       best = i;
       best_load = load;
     }
   }
+  assert(best < replicas_.size() && "no live replica");
   return best;
+}
+
+size_t SymphonyCluster::FirstLiveFrom(size_t preferred) const {
+  for (size_t probe = 0; probe < replicas_.size(); ++probe) {
+    size_t i = (preferred + probe) % replicas_.size();
+    if (!dead_[i]) {
+      return i;
+    }
+  }
+  assert(false && "no live replica");
+  return 0;
 }
 
 size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
   switch (options_.routing) {
     case RoutingPolicy::kRoundRobin: {
-      size_t replica = next_round_robin_;
-      next_round_robin_ = (next_round_robin_ + 1) % replicas_.size();
+      size_t replica = FirstLiveFrom(next_round_robin_);
+      next_round_robin_ = (replica + 1) % replicas_.size();
       return replica;
     }
     case RoutingPolicy::kLeastLoaded:
@@ -46,19 +64,25 @@ size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
       if (affinity_key.empty()) {
         return LeastLoaded();
       }
-      return static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size());
+      return FirstLiveFrom(
+          static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size()));
     case RoutingPolicy::kAffinityBounded: {
       if (affinity_key.empty()) {
         return LeastLoaded();
       }
-      size_t preferred =
-          static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size());
+      size_t preferred = FirstLiveFrom(
+          static_cast<size_t>(Fnv1a(affinity_key) % replicas_.size()));
       size_t total_live = 0;
-      for (const std::unique_ptr<SymphonyServer>& replica : replicas_) {
-        total_live += replica->runtime().live_lips();
+      size_t live_replicas = 0;
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        if (dead_[i]) {
+          continue;
+        }
+        total_live += replicas_[i]->runtime().live_lips();
+        ++live_replicas;
       }
       double average = static_cast<double>(total_live + 1) /
-                       static_cast<double>(replicas_.size());
+                       static_cast<double>(live_replicas);
       double bound = options_.load_factor * average;
       if (static_cast<double>(replicas_[preferred]->runtime().live_lips() + 1) <=
           bound) {
@@ -70,24 +94,291 @@ size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
   return 0;
 }
 
+std::function<void(LipId)> SymphonyCluster::MakeOnExit(uint64_t uid) {
+  return [this, uid](LipId lip) {
+    auto it = records_.find(uid);
+    if (it == records_.end()) {
+      return;
+    }
+    it->second.done = true;
+    if (it->second.user_on_exit) {
+      it->second.user_on_exit(lip);
+    }
+  };
+}
+
 SymphonyCluster::ClusterLip SymphonyCluster::Launch(
     std::string name, const std::string& affinity_key, LipProgram program,
     std::function<void(LipId)> on_exit) {
   size_t replica = RouteFor(affinity_key);
   ++launched_per_replica_[replica];
-  LipId lip = replicas_[replica]->Launch(std::move(name), std::move(program),
-                                         std::move(on_exit));
-  return ClusterLip{replica, lip};
+  if (!options_.enable_recovery) {
+    LipId lip = replicas_[replica]->Launch(std::move(name), std::move(program),
+                                           std::move(on_exit));
+    return ClusterLip{replica, lip, 0};
+  }
+  uint64_t uid = next_uid_++;
+  LipRecord& rec = records_[uid];
+  rec.uid = uid;
+  rec.name = name;
+  rec.program = program;  // Keep a copy for relaunch.
+  rec.user_on_exit = std::move(on_exit);
+  rec.replica = replica;
+  rec.journal = std::make_shared<SyscallJournal>();
+  // Replica-independent seed: a replayed LIP must re-draw the identical RNG
+  // stream on any replica, so the seed is derived from the cluster-wide uid
+  // rather than the replica's decorrelated runtime seed.
+  uint64_t seed =
+      Mix64(options_.server.runtime.seed ^ (0x5eedULL + uid * 0x9e3779b9ULL));
+  LipRuntime& runtime = replicas_[replica]->runtime();
+  rec.lip = runtime.LaunchWithSeed(std::move(name), seed, std::move(program),
+                                   MakeOnExit(uid));
+  runtime.EnableJournal(rec.lip, rec.journal);
+  return ClusterLip{replica, rec.lip, uid};
+}
+
+void SymphonyCluster::ReplayOnto(LipRecord& rec, size_t target) {
+  SymphonyServer& server = *replicas_[target];
+  // Replay from a copy: late completions on the old replica may still append
+  // to the original journal, and the new incarnation records into its own.
+  auto journal = std::make_shared<SyscallJournal>(*rec.journal);
+  CostModel cost(options_.server.model, options_.server.hardware);
+  ReplayOutcome outcome = Replayer::Replay(
+      server.runtime(), cost, &options_.server.model, journal, rec.program,
+      options_.recovery_mode, MakeOnExit(rec.uid));
+  rec.journal = std::move(journal);
+  rec.replica = target;
+  rec.lip = outcome.lip;
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "recovery", "restore:" + rec.name + "@replica" +
+                        std::to_string(target) + ":" +
+                        RecoveryModeName(outcome.mode),
+        sim_->now());
+  }
+}
+
+Status SymphonyCluster::KillReplica(size_t index) {
+  if (index >= replicas_.size()) {
+    return InvalidArgumentError("no replica " + std::to_string(index));
+  }
+  if (dead_[index]) {
+    return FailedPreconditionError("replica " + std::to_string(index) +
+                                   " already dead");
+  }
+  dead_[index] = true;
+  LipRuntime& runtime = replicas_[index]->runtime();
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant("recovery",
+                                   "kill:replica" + std::to_string(index),
+                                   sim_->now());
+  }
+  // Collect the victims before halting: LipDone() still answers afterwards,
+  // but the order keeps this readable.
+  std::vector<uint64_t> victims;
+  for (auto& entry : records_) {
+    LipRecord& rec = entry.second;
+    if (rec.replica == index && !rec.done && !runtime.LipDone(rec.lip)) {
+      victims.push_back(rec.uid);
+    }
+  }
+  runtime.Halt();
+  if (!options_.enable_recovery || victims.empty()) {
+    return Status::Ok();
+  }
+  bool any_live = false;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    any_live = any_live || !dead_[i];
+  }
+  if (!any_live) {
+    return FailedPreconditionError("no surviving replica to fail over to");
+  }
+  // Co-migrate every victim to ONE survivor so IPC-coupled LIPs re-execute
+  // their sends/recvs against each other (journal.h determinism contract).
+  size_t target = LeastLoaded();
+  for (uint64_t uid : victims) {
+    ReplayOnto(records_[uid], target);
+    ++failovers_;
+  }
+  SYMPHONY_LOG(kInfo) << "replica " << index << " killed; " << victims.size()
+                      << " lip(s) replayed on replica " << target;
+  return Status::Ok();
+}
+
+Status SymphonyCluster::Migrate(const ClusterLip& id, size_t to_replica) {
+  if (!options_.enable_recovery) {
+    return FailedPreconditionError("migration requires enable_recovery");
+  }
+  auto it = records_.find(id.uid);
+  if (it == records_.end()) {
+    return NotFoundError("unknown lip uid " + std::to_string(id.uid));
+  }
+  LipRecord& rec = it->second;
+  if (to_replica >= replicas_.size()) {
+    return InvalidArgumentError("no replica " + std::to_string(to_replica));
+  }
+  if (dead_[to_replica]) {
+    return FailedPreconditionError("target replica is dead");
+  }
+  if (dead_[rec.replica]) {
+    return FailedPreconditionError("source replica is dead");
+  }
+  if (to_replica == rec.replica) {
+    return InvalidArgumentError("lip already on replica " +
+                                std::to_string(to_replica));
+  }
+  LipRuntime& source = replicas_[rec.replica]->runtime();
+  if (rec.done || source.LipDone(rec.lip)) {
+    return FailedPreconditionError("lip already finished");
+  }
+  SYMPHONY_RETURN_IF_ERROR(source.Detach(rec.lip));
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "recovery", "migrate:" + rec.name + ":replica" +
+                        std::to_string(rec.replica) + "->replica" +
+                        std::to_string(to_replica),
+        sim_->now());
+  }
+  ReplayOnto(rec, to_replica);
+  ++migrations_;
+  return Status::Ok();
+}
+
+size_t SymphonyCluster::Rebalance() {
+  if (!options_.enable_recovery) {
+    return 0;
+  }
+  std::vector<size_t> loads(replicas_.size(), SIZE_MAX);
+  size_t total = 0;
+  size_t live_replicas = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (dead_[i]) {
+      continue;
+    }
+    loads[i] = replicas_[i]->runtime().live_lips();
+    total += loads[i];
+    ++live_replicas;
+  }
+  if (live_replicas < 2) {
+    return 0;
+  }
+  std::vector<std::pair<uint64_t, size_t>> moves;
+  if (rebalance_hook_) {
+    moves = rebalance_hook_(loads);
+  } else {
+    // Default policy: a replica above load_factor x the live average sheds
+    // LIPs to the emptiest replica — but only moves that strictly improve
+    // balance (target + 1 < source on the planned loads). Without that
+    // guard a single straggler ping-pongs between replicas forever, each
+    // migration restarting it before it can finish.
+    double average =
+        static_cast<double>(total) / static_cast<double>(live_replicas);
+    double bound = options_.load_factor * average;
+    std::vector<size_t> planned = loads;  // SIZE_MAX marks dead replicas.
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (dead_[i] || static_cast<double>(loads[i]) <= bound) {
+        continue;
+      }
+      for (auto& entry : records_) {
+        LipRecord& rec = entry.second;
+        if (rec.replica != i || rec.done ||
+            replicas_[i]->runtime().LipDone(rec.lip)) {
+          continue;
+        }
+        size_t target = i;
+        for (size_t j = 0; j < replicas_.size(); ++j) {
+          if (!dead_[j] && planned[j] < planned[target]) {
+            target = j;
+          }
+        }
+        if (target == i || planned[target] + 1 >= planned[i] ||
+            static_cast<double>(planned[i]) <= bound) {
+          break;
+        }
+        moves.emplace_back(rec.uid, target);
+        --planned[i];
+        ++planned[target];
+      }
+    }
+  }
+  size_t moved = 0;
+  for (const auto& [uid, target] : moves) {
+    auto it = records_.find(uid);
+    if (it == records_.end()) {
+      continue;
+    }
+    ClusterLip id{it->second.replica, it->second.lip, uid};
+    if (Migrate(id, target).ok()) {
+      ++moved;
+    }
+  }
+  return moved;
+}
+
+void SymphonyCluster::ScheduleRebalance(SimDuration period) {
+  sim_->ScheduleAfter(period, [this, period] {
+    Rebalance();
+    // Keep the chain alive only while there is work, so Simulator::Run
+    // still terminates once the cluster drains.
+    if (LiveLipsTotal() > 0) {
+      ScheduleRebalance(period);
+    }
+  });
+}
+
+void SymphonyCluster::StartAutoRebalance(SimDuration period) {
+  assert(period > 0);
+  ScheduleRebalance(period);
+}
+
+size_t SymphonyCluster::LiveLipsTotal() const {
+  size_t live = 0;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!dead_[i]) {
+      live += replicas_[i]->runtime().live_lips();
+    }
+  }
+  return live;
+}
+
+SymphonyCluster::ClusterLip SymphonyCluster::Locate(
+    const ClusterLip& id) const {
+  auto it = records_.find(id.uid);
+  if (it == records_.end()) {
+    return id;
+  }
+  return ClusterLip{it->second.replica, it->second.lip, id.uid};
+}
+
+const std::string& SymphonyCluster::Output(const ClusterLip& id) const {
+  ClusterLip where = Locate(id);
+  return replicas_[where.replica]->runtime().Output(where.lip);
+}
+
+bool SymphonyCluster::Done(const ClusterLip& id) const {
+  auto it = records_.find(id.uid);
+  if (it != records_.end()) {
+    return it->second.done;
+  }
+  return replicas_[id.replica]->runtime().LipDone(id.lip);
 }
 
 SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   ClusterSnapshot snap;
   snap.lips_per_replica = launched_per_replica_;
-  for (const std::unique_ptr<SymphonyServer>& replica : replicas_) {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    SymphonyServer* replica = replicas_[i].get();
     snap.total_throughput_busy += replica->device().Utilization();
     snap.batches += replica->device().stats().batches;
     snap.lips_completed += replica->runtime().stats().lips_completed;
+    snap.lips_replayed += replica->runtime().stats().lips_replayed;
+    snap.replay_divergences += replica->runtime().stats().replay_divergences;
+    if (dead_[i]) {
+      ++snap.replicas_dead;
+    }
   }
+  snap.failovers = failovers_;
+  snap.migrations = migrations_;
   return snap;
 }
 

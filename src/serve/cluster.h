@@ -11,13 +11,23 @@
 //   * kCacheAffinity  — hash an application-provided affinity key (e.g. the
 //                       RAG topic) so same-key LIPs share a replica and its
 //                       named KV files.
+//
+// Fault tolerance & live migration (src/recovery): with enable_recovery the
+// cluster journals every LIP's syscalls. KillReplica(i) halts a replica and
+// replays its live LIPs on a survivor; Migrate moves one LIP between live
+// replicas; Rebalance migrates LIPs off overloaded replicas. Replayed LIPs
+// fast-forward deterministically and produce bit-identical output (see
+// journal.h for the determinism contract).
 #ifndef SRC_SERVE_CLUSTER_H_
 #define SRC_SERVE_CLUSTER_H_
 
 #include <memory>
 #include <string>
+#include <unordered_map>
+#include <utility>
 #include <vector>
 
+#include "src/recovery/replayer.h"
 #include "src/serve/server.h"
 
 namespace symphony {
@@ -36,9 +46,15 @@ enum class RoutingPolicy {
 struct ClusterOptions {
   size_t replicas = 2;
   RoutingPolicy routing = RoutingPolicy::kRoundRobin;
-  // kAffinityBounded overflow threshold (x cluster-average load).
+  // kAffinityBounded overflow threshold (x cluster-average load); also the
+  // per-replica overload bound used by Rebalance's default policy.
   double load_factor = 1.25;
   ServerOptions server;
+  // Checkpoint/restore: journal every launched LIP so it survives
+  // KillReplica and can be moved by Migrate/Rebalance.
+  bool enable_recovery = false;
+  // How a recovered LIP's KV cache is rebuilt (kAuto: cost-model choice).
+  RecoveryMode recovery_mode = RecoveryMode::kAuto;
 };
 
 class SymphonyCluster {
@@ -48,10 +64,13 @@ class SymphonyCluster {
   SymphonyCluster(const SymphonyCluster&) = delete;
   SymphonyCluster& operator=(const SymphonyCluster&) = delete;
 
-  // A LIP's cluster-wide identity.
+  // A LIP's cluster-wide identity. `replica`/`lip` are the placement at
+  // launch time and go stale when the LIP is migrated; `uid` is stable for
+  // the LIP's whole life (0 when recovery is disabled).
   struct ClusterLip {
     size_t replica = 0;
     LipId lip = kNoLip;
+    uint64_t uid = 0;
   };
 
   // Routes and launches. `affinity_key` feeds kCacheAffinity (ignored by the
@@ -60,12 +79,54 @@ class SymphonyCluster {
                     LipProgram program,
                     std::function<void(LipId)> on_exit = nullptr);
 
-  // The replica the router would pick for `affinity_key` right now.
+  // The replica the router would pick for `affinity_key` right now. Dead
+  // replicas are never picked.
   size_t RouteFor(const std::string& affinity_key) const;
 
   size_t replica_count() const { return replicas_.size(); }
   SymphonyServer& replica(size_t index) { return *replicas_[index]; }
   const ClusterOptions& options() const { return options_; }
+  bool replica_dead(size_t index) const { return dead_[index]; }
+
+  // ---- Fault injection, migration, rebalancing (src/recovery) ----------
+
+  // Kills replica `index` at the current virtual time: its runtime halts
+  // (nothing on it ever resumes) and, with recovery enabled, every live
+  // journaled LIP is replayed on one least-loaded survivor — one survivor
+  // for all of them, so IPC-coupled LIPs re-execute against each other.
+  Status KillReplica(size_t index);
+
+  // Live-migrates one LIP to `to_replica`: detaches it from its current
+  // replica and replays it there. Requires recovery; both replicas live.
+  Status Migrate(const ClusterLip& id, size_t to_replica);
+
+  // One rebalance pass: migrates LIPs off replicas whose live load exceeds
+  // load_factor x the live-replica average (or whatever the hook decides).
+  // Returns the number of LIPs moved.
+  size_t Rebalance();
+
+  // Custom rebalance policy: given per-replica live-LIP counts (SIZE_MAX for
+  // dead replicas), return (uid, target_replica) migrations to perform.
+  using RebalanceHook =
+      std::function<std::vector<std::pair<uint64_t, size_t>>(
+          const std::vector<size_t>& live_lips)>;
+  void set_rebalance_hook(RebalanceHook hook) {
+    rebalance_hook_ = std::move(hook);
+  }
+
+  // Runs Rebalance() every `period` while the cluster has live LIPs (the
+  // chain stops when it drains, so Simulator::Run still terminates).
+  void StartAutoRebalance(SimDuration period);
+
+  // ---- Introspection ---------------------------------------------------
+
+  // Current placement of `id` (follows migrations via uid when recovery is
+  // on; returns `id` unchanged otherwise).
+  ClusterLip Locate(const ClusterLip& id) const;
+
+  // Output/done state of a LIP, wherever it currently lives.
+  const std::string& Output(const ClusterLip& id) const;
+  bool Done(const ClusterLip& id) const;
 
   // Cluster-wide aggregates.
   struct ClusterSnapshot {
@@ -73,16 +134,46 @@ class SymphonyCluster {
     uint64_t batches = 0;
     uint64_t lips_completed = 0;
     std::vector<uint64_t> lips_per_replica;
+    size_t replicas_dead = 0;
+    uint64_t failovers = 0;    // LIPs replayed because their replica died.
+    uint64_t migrations = 0;   // Migrate/Rebalance moves.
+    uint64_t lips_replayed = 0;
+    uint64_t replay_divergences = 0;
   };
   ClusterSnapshot Snapshot() const;
 
  private:
-  size_t LeastLoaded() const;
+  // Everything needed to re-launch a LIP somewhere else.
+  struct LipRecord {
+    uint64_t uid = 0;
+    std::string name;
+    LipProgram program;  // LipProgram is copyable: relaunch re-invokes it.
+    std::function<void(LipId)> user_on_exit;
+    size_t replica = 0;
+    LipId lip = kNoLip;
+    bool done = false;
+    std::shared_ptr<SyscallJournal> journal;
+  };
 
+  size_t LeastLoaded() const;
+  size_t FirstLiveFrom(size_t preferred) const;
+  std::function<void(LipId)> MakeOnExit(uint64_t uid);
+  // Replays `rec` on `target` from a copy of its journal; updates placement.
+  void ReplayOnto(LipRecord& rec, size_t target);
+  void ScheduleRebalance(SimDuration period);
+  size_t LiveLipsTotal() const;
+
+  Simulator* sim_;
   ClusterOptions options_;
   std::vector<std::unique_ptr<SymphonyServer>> replicas_;
   mutable size_t next_round_robin_ = 0;
   std::vector<uint64_t> launched_per_replica_;
+  std::vector<bool> dead_;
+  std::unordered_map<uint64_t, LipRecord> records_;
+  uint64_t next_uid_ = 1;
+  uint64_t failovers_ = 0;
+  uint64_t migrations_ = 0;
+  RebalanceHook rebalance_hook_;
 };
 
 }  // namespace symphony
