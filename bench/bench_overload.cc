@@ -1,0 +1,208 @@
+// Overload benchmark: goodput and tail latency vs offered load, with the
+// protection stack (admission control + per-LIP deadlines) on vs off.
+//
+// Method: measure the server's saturation capacity with a closed-loop run,
+// then offer open-loop Poisson arrivals at 0.5x, 1x, 2x, and 4x that
+// capacity for a fixed window. Every job carries the same latency target
+// (a multiple of its unloaded latency); a job counts toward goodput only if
+// it completes within the target.
+//   * unprotected — every arrival launches immediately; nothing is ever
+//     rejected or cancelled, so past saturation the batch queue grows
+//     without bound and everyone's latency blows through the target.
+//   * protected   — arrivals go through SymphonyServer::Submit with a
+//     bounded queue, deadline-aware rejection, and an enforced per-LIP
+//     deadline that cancels doomed work so capacity goes to jobs that can
+//     still meet their target.
+//
+// Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
+#include <algorithm>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/common/rng.h"
+#include "src/serve/server.h"
+
+namespace symphony {
+namespace {
+
+constexpr int kPrefixTokens = 24;
+constexpr int kDecodeTokens = 12;
+constexpr double kDeadlineSlack = 4.0;  // Latency target = slack x unloaded.
+constexpr double kArrivalWindowS = 4.0;
+
+// One serving job: prefill a fixed prompt, then decode a few tokens.
+LipProgram MakeJob() {
+  return [](LipContext& ctx) -> Task {
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < kPrefixTokens; ++i) {
+      prompt.push_back(static_cast<TokenId>(kFirstWordToken + (i % 50)));
+    }
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> first = co_await ctx.pred(kv, prompt);
+    if (!first.ok()) {
+      co_return;
+    }
+    TokenId t = first->back().Argmax();
+    for (int i = 0; i < kDecodeTokens; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      if (!d.ok()) {
+        co_return;
+      }
+      t = d->back().Argmax();
+    }
+    co_return;
+  };
+}
+
+ServerOptions BaseOptions(bool protect) {
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  if (protect) {
+    options.admission.enabled = true;
+    // Sized for a batch engine: concurrency up to two full batches keeps the
+    // device saturated; the queue bound caps waiting at roughly one more.
+    options.admission.max_live_lips = 64;
+    options.admission.max_queue = 64;
+  }
+  return options;
+}
+
+// Unloaded single-job latency — the basis for the latency target.
+double UnloadedLatencyS() {
+  Simulator sim;
+  SymphonyServer server(&sim, BaseOptions(false));
+  server.Launch("probe", MakeJob());
+  sim.Run();
+  return ToSeconds(sim.now());
+}
+
+// Saturation capacity: closed-loop, many jobs at t=0, completions/second.
+double CapacityJobsPerS() {
+  constexpr int kJobs = 96;
+  Simulator sim;
+  SymphonyServer server(&sim, BaseOptions(false));
+  for (int i = 0; i < kJobs; ++i) {
+    server.Launch("cap" + std::to_string(i), MakeJob());
+  }
+  sim.Run();
+  return kJobs / ToSeconds(sim.now());
+}
+
+struct LoadResult {
+  uint64_t offered = 0;
+  uint64_t completed = 0;   // Ran to completion (not cancelled, not shed).
+  uint64_t on_time = 0;     // Completed within the latency target.
+  uint64_t rejected = 0;    // Shed at admission (protected arm only).
+  uint64_t expired = 0;     // Cancelled by deadline expiry.
+  double goodput_per_s = 0.0;
+  double p99_ms = 0.0;      // Over completed jobs; 0 when none completed.
+};
+
+LoadResult RunLoad(double rate_per_s, bool protect, double deadline_s,
+                   uint64_t seed) {
+  Simulator sim;
+  SymphonyServer server(&sim, BaseOptions(protect));
+
+  LoadResult result;
+  std::vector<double> latencies_ms;
+  Rng arrivals(seed);
+
+  // Pre-compute the Poisson arrival times for the window.
+  std::vector<SimTime> schedule;
+  double t = 0.0;
+  while (t < kArrivalWindowS) {
+    t += -std::log(1.0 - arrivals.NextDouble()) / rate_per_s;
+    if (t < kArrivalWindowS) {
+      schedule.push_back(DurationFromSeconds(t));
+    }
+  }
+  result.offered = schedule.size();
+
+  for (size_t i = 0; i < schedule.size(); ++i) {
+    SimTime arrival = schedule[i];
+    sim.ScheduleAt(arrival, [&, arrival, i] {
+      SymphonyServer::LaunchSpec spec;
+      spec.name = "job" + std::to_string(i);
+      spec.program = MakeJob();
+      // The protected arm enforces the target as a real deadline; the
+      // unprotected arm only scores against it after the fact.
+      if (protect) {
+        spec.deadline = DurationFromSeconds(deadline_s);
+      }
+      spec.on_exit = [&, arrival](LipId lip) {
+        if (server.runtime().DeadlineExpired(lip)) {
+          ++result.expired;
+          return;
+        }
+        ++result.completed;
+        double latency_s = ToSeconds(sim.now() - arrival);
+        latencies_ms.push_back(latency_s * 1e3);
+        if (latency_s <= deadline_s) {
+          ++result.on_time;
+        }
+      };
+      SymphonyServer::AdmitResult admitted = server.Submit(std::move(spec));
+      if (!admitted.status.ok()) {
+        ++result.rejected;
+      }
+    });
+  }
+  sim.Run();
+
+  result.goodput_per_s = result.on_time / kArrivalWindowS;
+  if (!latencies_ms.empty()) {
+    std::sort(latencies_ms.begin(), latencies_ms.end());
+    size_t idx = (latencies_ms.size() * 99 + 99) / 100;
+    result.p99_ms = latencies_ms[std::min(idx, latencies_ms.size()) - 1];
+  }
+  return result;
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  using namespace symphony;
+
+  double unloaded_s = UnloadedLatencyS();
+  double capacity = CapacityJobsPerS();
+  double deadline_s = kDeadlineSlack * unloaded_s;
+  std::printf("unloaded latency: %.2f ms, capacity: %.1f jobs/s, "
+              "latency target: %.2f ms\n",
+              unloaded_s * 1e3, capacity, deadline_s * 1e3);
+  std::printf("JSON {\"bench\":\"overload\",\"row\":\"calibration\","
+              "\"unloaded_ms\":%.3f,\"capacity_per_s\":%.3f,"
+              "\"deadline_ms\":%.3f}\n",
+              unloaded_s * 1e3, capacity, deadline_s * 1e3);
+
+  BenchTable table({"load", "mode", "offered", "completed", "on-time",
+                    "rejected", "expired", "goodput/s", "p99 ms"});
+  for (double multiplier : {0.5, 1.0, 2.0, 4.0}) {
+    double rate = multiplier * capacity;
+    for (bool protect : {false, true}) {
+      LoadResult r = RunLoad(rate, protect, deadline_s, /*seed=*/42);
+      const char* mode = protect ? "protected" : "unprotected";
+      table.AddRow({Fmt(multiplier, 1) + "x", mode,
+                    std::to_string(r.offered), std::to_string(r.completed),
+                    std::to_string(r.on_time), std::to_string(r.rejected),
+                    std::to_string(r.expired), Fmt(r.goodput_per_s, 1),
+                    Fmt(r.p99_ms, 2)});
+      std::printf("JSON {\"bench\":\"overload\",\"load_x\":%.2f,"
+                  "\"mode\":\"%s\",\"offered\":%llu,\"completed\":%llu,"
+                  "\"on_time\":%llu,\"rejected\":%llu,\"expired\":%llu,"
+                  "\"goodput_per_s\":%.3f,\"p99_ms\":%.3f}\n",
+                  multiplier, mode,
+                  static_cast<unsigned long long>(r.offered),
+                  static_cast<unsigned long long>(r.completed),
+                  static_cast<unsigned long long>(r.on_time),
+                  static_cast<unsigned long long>(r.rejected),
+                  static_cast<unsigned long long>(r.expired),
+                  r.goodput_per_s, r.p99_ms);
+    }
+  }
+  table.Print("Overload: goodput and p99 vs offered load (window " +
+              Fmt(kArrivalWindowS, 1) + "s)");
+  return 0;
+}

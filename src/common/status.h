@@ -29,7 +29,19 @@ enum class StatusCode {
   kUnavailable,       // transient: retryable (device draining, queue full).
   kQuotaExceeded,     // EDQUOT: per-LIP resource quota hit (not retryable).
   kInternal,          // invariant violation; indicates a Symphony bug.
+  kDeadlineExceeded,  // ETIMEDOUT: tool-call timeout or per-LIP deadline.
 };
+
+// Transient failures are safe to retry after a backoff; everything else is
+// permanent from the caller's perspective (see docs/API.md "Failure
+// semantics"). kDeadlineExceeded is transient at the tool-call level (the
+// next attempt may be faster) but permanent once a LIP's own deadline has
+// expired — the runtime never retries on the LIP's behalf.
+inline bool IsTransientError(StatusCode code) {
+  return code == StatusCode::kUnavailable ||
+         code == StatusCode::kResourceExhausted ||
+         code == StatusCode::kDeadlineExceeded;
+}
 
 // Returns a stable identifier such as "NOT_FOUND" for logs and test output.
 std::string_view StatusCodeName(StatusCode code);
@@ -75,6 +87,7 @@ Status OutOfRangeError(std::string message);
 Status UnavailableError(std::string message);
 Status QuotaExceededError(std::string message);
 Status InternalError(std::string message);
+Status DeadlineExceededError(std::string message);
 
 // StatusOr<T>: either an OK status with a value, or a non-OK status.
 template <typename T>

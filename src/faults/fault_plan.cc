@@ -1,0 +1,63 @@
+#include "src/faults/fault_plan.h"
+
+#include "src/common/hash.h"
+#include "src/common/rng.h"
+
+namespace symphony {
+
+FaultDecision FaultPlan::OnToolCall(const std::string& tool, SimTime now,
+                                    const std::string& args,
+                                    uint64_t call_ordinal, uint32_t attempt) {
+  FaultDecision decision;
+  auto it = tool_faults_.find(tool);
+  if (it == tool_faults_.end()) {
+    return decision;
+  }
+  const ToolFaultSpec& spec = it->second;
+  if (spec.fail_after >= 0 && now >= spec.fail_after &&
+      (spec.recover_at < 0 || now < spec.recover_at)) {
+    ++stats_.tool_faults;
+    decision.status = UnavailableError("injected outage: tool '" + tool + "'");
+    return decision;
+  }
+  // One decision stream per (tool, args, logical call, attempt): independent
+  // of global call interleaving, so replayed re-execution re-draws it.
+  Rng rng(Mix64(seed_ ^ Fnv1a(tool)) ^
+          Mix64(Fnv1a(args) + call_ordinal * 0x9e3779b97f4a7c15ULL + attempt));
+  if (spec.fail_prob > 0.0 && rng.NextDouble() < spec.fail_prob) {
+    ++stats_.tool_faults;
+    decision.status =
+        UnavailableError("injected transient fault: tool '" + tool + "'");
+    return decision;
+  }
+  if (spec.tail_prob > 0.0 && rng.NextDouble() < spec.tail_prob) {
+    ++stats_.tool_tail_stretches;
+    decision.latency_factor = spec.tail_factor;
+  }
+  return decision;
+}
+
+void FaultPlan::ArmKvPressure(Simulator* sim, Kvfs* kvfs) {
+  for (const KvPressureSpec& spec : pressure_) {
+    sim->ScheduleAt(spec.at, [this, sim, kvfs, spec] {
+      StatusOr<KvHandle> handle = kvfs->CreateAnonymous(kAdminLip);
+      if (!handle.ok()) {
+        return;  // Pool already saturated: the pressure exists without us.
+      }
+      std::vector<TokenRecord> filler(spec.pages *
+                                      static_cast<uint64_t>(kPageTokens));
+      for (size_t i = 0; i < filler.size(); ++i) {
+        filler[i] = TokenRecord{0, static_cast<int32_t>(i), 0};
+      }
+      (void)kvfs->Append(*handle, filler);  // Best effort: partial is pressure too.
+      (void)kvfs->Pin(*handle);             // Not evictable for the window.
+      ++stats_.pressure_windows;
+      sim->ScheduleAfter(spec.duration, [kvfs, h = *handle] {
+        (void)kvfs->Unpin(h);
+        (void)kvfs->Close(h);
+      });
+    });
+  }
+}
+
+}  // namespace symphony

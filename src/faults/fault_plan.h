@@ -1,0 +1,128 @@
+// FaultPlan: deterministic, simulation-time-driven fault injection.
+//
+// The paper moves tool execution and control flow onto the server (§2.2,
+// §4.3), so the server — not the client — absorbs flaky tools, latency
+// tails, memory pressure, and replica failures. FaultPlan is the harness
+// that makes those failure modes reproducible: every fault decision is a
+// pure function of (plan seed, fault site, call identity), so a seeded run
+// is bit-identical across reruns and property tests can replay a failing
+// seed exactly.
+//
+// Fault classes:
+//   * Tool faults      — per-tool transient failure probability, a permanent
+//                        outage window in virtual time, and latency-tail
+//                        stretching. Consulted by the serving layer's tool
+//                        service on every attempt (retries draw fresh
+//                        decisions); the FINAL result of a tool syscall is
+//                        what the SyscallJournal records, so recovery replays
+//                        the observed failures rather than re-rolling them.
+//   * KVFS pressure    — windows during which a pinned admin-owned scratch
+//                        file occupies GPU pages, forcing eviction/offload
+//                        and kResourceExhausted on competing allocations.
+//   * Replica kills    — a schedule of KillReplica times; SymphonyCluster
+//                        arms these at construction when the plan is set in
+//                        ServerOptions::fault_plan.
+//
+// Replay invariance: tool fault decisions are keyed by (tool, args hash,
+// the calling LIP's tool-call ordinal, attempt number) rather than a global
+// call counter, so a journaled LIP that re-executes an interrupted call
+// after recovery draws the same decisions the original run would have. As
+// with the journal's determinism contract, cross-thread ordinal assignment
+// is stable only for race-free programs.
+#ifndef SRC_FAULTS_FAULT_PLAN_H_
+#define SRC_FAULTS_FAULT_PLAN_H_
+
+#include <cstdint>
+#include <string>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/kvfs/kvfs.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+
+namespace symphony {
+
+// Per-tool fault behaviour. Probabilities are per attempt.
+struct ToolFaultSpec {
+  // Transient failure: the attempt fails with kUnavailable.
+  double fail_prob = 0.0;
+  // Latency tail: the attempt's latency is multiplied by tail_factor.
+  double tail_prob = 0.0;
+  double tail_factor = 8.0;
+  // Permanent outage window in virtual time: every attempt inside
+  // [fail_after, recover_at) fails with kUnavailable. Negative = unset;
+  // recover_at < 0 with fail_after >= 0 means the outage never ends.
+  SimTime fail_after = -1;
+  SimTime recover_at = -1;
+};
+
+// What the serving layer should do with one tool attempt.
+struct FaultDecision {
+  Status status;               // OK = no injected failure.
+  double latency_factor = 1.0; // Multiplier on the tool's modelled latency.
+};
+
+struct KvPressureSpec {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  uint64_t pages = 0;
+};
+
+struct FaultPlanStats {
+  uint64_t tool_faults = 0;         // Injected failures (transient + outage).
+  uint64_t tool_tail_stretches = 0; // Latency-tail injections.
+  uint64_t pressure_windows = 0;    // KV pressure windows actually opened.
+};
+
+class FaultPlan {
+ public:
+  explicit FaultPlan(uint64_t seed = 1) : seed_(seed) {}
+
+  // ---- Plan construction -----------------------------------------------
+
+  void FailTool(const std::string& tool, ToolFaultSpec spec) {
+    tool_faults_[tool] = spec;
+  }
+
+  void KillReplicaAt(size_t replica, SimTime at) {
+    kills_.emplace_back(replica, at);
+  }
+
+  void AddKvPressure(SimTime at, SimDuration duration, uint64_t pages) {
+    pressure_.push_back(KvPressureSpec{at, duration, pages});
+  }
+
+  // ---- Consultation (serving layer) ------------------------------------
+
+  // Decision for one attempt of one logical tool call. `call_ordinal` is the
+  // calling LIP's tool-call count at submission (replay-invariant), `attempt`
+  // the 1-based retry attempt.
+  FaultDecision OnToolCall(const std::string& tool, SimTime now,
+                           const std::string& args, uint64_t call_ordinal,
+                           uint32_t attempt);
+
+  // Arms the KV pressure windows on one server's file system: each window
+  // pins `pages` GPU pages in an admin-owned anonymous file for `duration`.
+  // In a cluster every replica arms the same windows on its own KVFS.
+  void ArmKvPressure(Simulator* sim, Kvfs* kvfs);
+
+  const std::vector<std::pair<size_t, SimTime>>& replica_kills() const {
+    return kills_;
+  }
+  const FaultPlanStats& stats() const { return stats_; }
+  uint64_t seed() const { return seed_; }
+
+ private:
+  uint64_t seed_;
+  std::unordered_map<std::string, ToolFaultSpec> tool_faults_;
+  std::vector<std::pair<size_t, SimTime>> kills_;
+  std::vector<KvPressureSpec> pressure_;
+  FaultPlanStats stats_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_FAULTS_FAULT_PLAN_H_

@@ -118,6 +118,12 @@ class SyscallJournal {
   uint64_t quota_max_tool_calls = UINT64_MAX;
   uint32_t quota_max_threads = UINT32_MAX;
   uint64_t quota_max_kv_pages = UINT64_MAX;
+  // Absolute deadline captured at SetDeadline time: recovery re-arms it so a
+  // replayed LIP cannot outlive the budget its original admission granted.
+  // (Replay itself is exempt from rejection while the log serves — see
+  // LipRuntime::SetDeadline.)
+  bool has_deadline = false;
+  SimTime deadline = 0;
 
   // ---- The log ----------------------------------------------------------
 

@@ -58,6 +58,9 @@ ReplayOutcome Replayer::Replay(LipRuntime& runtime, const CostModel& cost,
     quota.max_kv_pages = journal->quota_max_kv_pages;
     runtime.SetQuota(outcome.lip, quota);
   }
+  if (journal->has_deadline) {
+    runtime.SetDeadline(outcome.lip, journal->deadline);
+  }
   runtime.EnableJournal(outcome.lip, journal);
   Status began = runtime.BeginReplay(outcome.lip, outcome.mode, config);
   assert(began.ok());

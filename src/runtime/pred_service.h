@@ -50,6 +50,11 @@ class PredService {
   // Takes ownership of the request. On validation failure the implementation
   // must still deliver the error through request.complete.
   virtual void Submit(PredRequest request) = 0;
+
+  // Cancels every queued or retry-pending request belonging to `lip`,
+  // completing each with kDeadlineExceeded. Used by per-LIP deadline expiry;
+  // requests already inside a running batch finish normally. Optional.
+  virtual void CancelLip(LipId lip) { (void)lip; }
 };
 
 // The runtime's hook surface for external I/O (tool calls). The serving

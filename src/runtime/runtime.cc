@@ -221,12 +221,67 @@ void LipRuntime::SetQuota(LipId lip, LipQuota quota) {
   }
 }
 
+void LipRuntime::SetDeadline(LipId lip, SimTime deadline) {
+  Process& proc = GetProcess(lip);
+  proc.deadline = deadline;
+  proc.expired = false;
+  if (proc.journal != nullptr) {
+    proc.journal->has_deadline = true;
+    proc.journal->deadline = deadline;
+  }
+  sim_->ScheduleAt(deadline,
+                   [this, lip, deadline] { ExpireDeadline(lip, deadline); });
+}
+
+bool LipRuntime::DeadlineExpired(LipId lip) const {
+  auto it = processes_.find(lip);
+  return it != processes_.end() && it->second.expired;
+}
+
+void LipRuntime::ExpireDeadline(LipId lip, SimTime deadline) {
+  if (halted_) {
+    return;
+  }
+  auto it = processes_.find(lip);
+  if (it == processes_.end()) {
+    return;
+  }
+  Process& proc = it->second;
+  // Stale event: the LIP exited, was detached, or the deadline was re-armed.
+  if (proc.done || proc.expired || proc.deadline != deadline) {
+    return;
+  }
+  proc.expired = true;
+  ++stats_.deadlines_expired;
+  SYMPHONY_LOG(kDebug) << "lip " << lip << " deadline expired";
+  // Cancellation and KV teardown are deferred while replay is consuming the
+  // journal: re-executed preds and KV operations must complete so the LIP
+  // reaches its pre-failure point (FinishReplay runs the teardown then).
+  if (proc.replay == nullptr || proc.replay->complete) {
+    // Cancel queued/retry-pending preds so the LIP stops consuming decode
+    // capacity; requests already inside a running batch drain normally.
+    if (pred_service_ != nullptr) {
+      pred_service_->CancelLip(lip);
+    }
+    // Release the LIP's KV page quota now rather than at exit — an expired
+    // LIP must not hold device pages against live work.
+    for (KvHandle handle : proc.open_handles) {
+      (void)kvfs_->Close(handle);
+    }
+    proc.open_handles.clear();
+  }
+}
+
 void LipRuntime::EnableJournal(LipId lip,
                                std::shared_ptr<SyscallJournal> journal) {
   assert(journal != nullptr);
   Process& proc = GetProcess(lip);
   journal->name = proc.name;
   journal->rng_seed = proc.rng_seed;
+  if (proc.deadline != 0) {
+    journal->has_deadline = true;
+    journal->deadline = proc.deadline;
+  }
   LipQuota unlimited;
   if (proc.quota.max_pred_tokens != unlimited.max_pred_tokens ||
       proc.quota.max_tool_calls != unlimited.max_tool_calls ||
@@ -330,6 +385,11 @@ const JournalEntry* LipRuntime::NextReplayEntry(Process& proc,
   return proc.journal->At(tcb.path, proc.replay->cursor[tcb.path]);
 }
 
+bool LipRuntime::ReplayServes(Process& proc, const Tcb& tcb) {
+  return proc.replay != nullptr && !proc.replay->complete &&
+         NextReplayEntry(proc, tcb) != nullptr;
+}
+
 void LipRuntime::ConsumeReplayEntry(Process& proc, const Tcb& tcb) {
   ++proc.replay->cursor[tcb.path];
   ++proc.replay->consumed;
@@ -343,6 +403,16 @@ void LipRuntime::FinishReplay(Process& proc, bool diverged) {
     return;
   }
   proc.replay->complete = true;
+  if (proc.expired && !proc.done) {
+    // The deadline fired mid-replay; run the teardown ExpireDeadline deferred.
+    if (pred_service_ != nullptr) {
+      pred_service_->CancelLip(proc.id);
+    }
+    for (KvHandle handle : proc.open_handles) {
+      (void)kvfs_->Close(handle);
+    }
+    proc.open_handles.clear();
+  }
   if (trace_ != nullptr && proc.replay->total > 0) {
     trace_->Span("recovery",
                  (diverged ? std::string("replay-diverged:")
@@ -432,6 +502,17 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
   }
   Tcb& tcb = GetTcb(thread);
   Process& proc = GetProcess(tcb.lip);
+  // Expired deadline fails fast — before the quota charge, matching a live
+  // run where the rejection short-circuits. Suppressed while the journal
+  // still serves this thread: the original run's pre-expiry syscalls must
+  // replay even though replay's compressed timeline is past the deadline.
+  if (proc.expired && !ReplayServes(proc, tcb)) {
+    ++stats_.deadline_rejections;
+    result->status = DeadlineExceededError("deadline expired for lip " +
+                                           std::to_string(proc.id));
+    Ready(thread);
+    return;
+  }
   // Quota is charged before the journal is consulted, on purpose: replayed
   // re-execution then rebuilds the exact pre-failure LipUsage, and a quota
   // error reproduces without ever having been journaled.
@@ -477,6 +558,15 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
         ConsumeReplayEntry(proc, tcb);
         Ready(thread);
         return;
+      } else if (!entry->status.ok()) {
+        // kRecompute with a journaled failure (cancelled pred, deadline
+        // rejection delivered through the service): resubmitting could
+        // succeed live and diverge — serve the recorded status verbatim.
+        ++stats_.preds_replayed;
+        result->status = entry->status;
+        ConsumeReplayEntry(proc, tcb);
+        Ready(thread);
+        return;
       } else {
         // kRecompute: fall through to a live submit so the device rebuilds
         // the KV cache; completion checks it reproduced the journaled states.
@@ -512,6 +602,17 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
     auto it = threads_.find(thread);
     bool dead = halted_ || it == threads_.end() ||
                 it->second.state == ThreadState::kKilled;
+    if (!dead) {
+      // A pred that was in flight at deadline expiry can fail for a teardown
+      // reason (its KV handle was closed); attribute that to the deadline.
+      // Normalized before journaling so replay serves the same status.
+      Process& owner = GetProcess(it->second.lip);
+      if (owner.expired && !r.status.ok() &&
+          r.status.code() != StatusCode::kDeadlineExceeded) {
+        r.status = DeadlineExceededError("deadline expired for lip " +
+                                         std::to_string(owner.id));
+      }
+    }
     if (!dead && record) {
       JournalEntry entry;
       entry.kind = JournalEntry::Kind::kPred;
@@ -561,6 +662,13 @@ void LipRuntime::SubmitTool(ThreadId thread, const std::string& tool,
   Tcb& tcb = GetTcb(thread);
   LipId lip = tcb.lip;
   Process& proc = GetProcess(lip);
+  if (proc.expired && !ReplayServes(proc, tcb)) {
+    ++stats_.deadline_rejections;
+    result->status =
+        DeadlineExceededError("deadline expired for lip " + std::to_string(lip));
+    Ready(thread);
+    return;
+  }
   if (proc.usage.tool_calls >= proc.quota.max_tool_calls) {
     result->status = QuotaExceededError("tool call quota exhausted for lip " +
                                         std::to_string(lip));

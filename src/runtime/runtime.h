@@ -83,6 +83,9 @@ struct RuntimeStats {
   uint64_t replay_tokens_imported = 0;    // KV rebuilt via snapshot import.
   uint64_t replay_tokens_recomputed = 0;  // KV rebuilt by re-running preds.
   uint64_t replay_divergences = 0;  // Live result disagreed with the journal.
+  // Failure semantics (src/faults, src/serve): per-LIP deadline enforcement.
+  uint64_t deadlines_expired = 0;     // LIPs whose deadline fired.
+  uint64_t deadline_rejections = 0;   // Syscalls rejected after expiry.
 };
 
 class LipRuntime {
@@ -150,6 +153,17 @@ class LipRuntime {
   // the system-call boundary from then on.
   void SetQuota(LipId lip, LipQuota quota);
   LipUsage GetUsage(LipId lip) const;
+
+  // Arms an absolute per-LIP deadline. When it fires, queued/pending preds
+  // are cancelled (PredService::CancelLip), the LIP's open KV handles are
+  // closed (releasing its page quota), and every further pred/tool syscall
+  // fails fast with kDeadlineExceeded — the LIP consumes no more decode
+  // steps. Re-arming with a later time supersedes the earlier deadline.
+  // During journal replay the expiry is recorded but rejection and handle
+  // teardown are deferred until the journal is exhausted: replay compresses
+  // virtual time, and the journal already holds what actually happened.
+  void SetDeadline(LipId lip, SimTime deadline);
+  bool DeadlineExpired(LipId lip) const;
 
   // Text emitted by the LIP via LipContext::emit.
   const std::string& Output(LipId lip) const;
@@ -245,6 +259,9 @@ class LipRuntime {
     LipQuota quota;
     LipUsage usage;
     SimTime launch_time = 0;
+    // Absolute deadline (0 = none) and whether it has fired.
+    SimTime deadline = 0;
+    bool expired = false;
     // The seed actually used for `rng` (recorded into the journal).
     uint64_t rng_seed = 0;
     // Checkpoint/restore state (nullptr when recovery is not in use).
@@ -279,6 +296,10 @@ class LipRuntime {
   // whole journal has been consumed.
   const JournalEntry* NextReplayEntry(Process& proc, const Tcb& tcb);
   void ConsumeReplayEntry(Process& proc, const Tcb& tcb);
+  // True while `tcb`'s next syscall will be answered from the journal —
+  // deadline rejections are suppressed for such calls (see SetDeadline).
+  bool ReplayServes(Process& proc, const Tcb& tcb);
+  void ExpireDeadline(LipId lip, SimTime deadline);
   void FinishReplay(Process& proc, bool diverged);
   void ReplayDiverged(Process& proc, const char* what);
   // Records a delivered IPC message (or checks it against the journal

@@ -39,6 +39,9 @@ StatusOr<uint64_t> InferenceScheduler::Validate(const PredRequest& request) {
 
 void InferenceScheduler::Submit(PredRequest request) {
   ++stats_.submitted;
+  // A fresh submit supersedes any earlier cancellation of this LIP (journal
+  // replay re-executes a recovered LIP through the live scheduler).
+  cancelled_lips_.erase(request.lip);
   SimTime now = sim_->now();
   if (last_submit_ > 0) {
     double gap_s = std::max(ToSeconds(now - last_submit_), 1e-6);
@@ -182,6 +185,23 @@ void InferenceScheduler::LaunchBatch() {
   });
 }
 
+void InferenceScheduler::CancelLip(LipId lip) {
+  std::deque<PredRequest> kept;
+  for (PredRequest& request : queue_) {
+    if (request.lip != lip) {
+      kept.push_back(std::move(request));
+      continue;
+    }
+    ++stats_.cancelled;
+    request.complete(PredResult{
+        DeadlineExceededError("pred cancelled: lip deadline expired"), {}});
+  }
+  queue_ = std::move(kept);
+  // Requests sleeping out a memory-retry backoff are caught when their
+  // retry event fires (see RequeueForMemory).
+  cancelled_lips_.insert(lip);
+}
+
 bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& why) {
   if (request.memory_retries >= options_.max_memory_retries) {
     ++stats_.failed;
@@ -190,8 +210,23 @@ bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& wh
   }
   ++request.memory_retries;
   ++stats_.memory_requeues;
+  stats_.max_memory_retry_depth =
+      std::max(stats_.max_memory_retry_depth, request.memory_retries);
+  // Exponential backoff: base * 2^(retries-1), capped. Shift width is bounded
+  // by the cap check below (cap/base fits in far fewer than 63 bits).
+  SimDuration backoff = options_.memory_retry_backoff;
+  for (uint32_t i = 1; i < request.memory_retries && backoff < options_.memory_retry_backoff_cap; ++i) {
+    backoff *= 2;
+  }
+  backoff = std::min(backoff, options_.memory_retry_backoff_cap);
   auto retry = std::make_shared<PredRequest>(std::move(request));
-  sim_->ScheduleAfter(options_.memory_retry_backoff, [this, retry] {
+  sim_->ScheduleAfter(backoff, [this, retry] {
+    if (cancelled_lips_.count(retry->lip) != 0) {
+      ++stats_.cancelled;
+      retry->complete(PredResult{
+          DeadlineExceededError("pred cancelled: lip deadline expired"), {}});
+      return;
+    }
     queue_.push_back(std::move(*retry));
     MaybeLaunch();
   });

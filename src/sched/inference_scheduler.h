@@ -12,6 +12,7 @@
 #include <deque>
 #include <memory>
 #include <unordered_map>
+#include <unordered_set>
 #include <vector>
 
 #include "src/gpu/device.h"
@@ -46,9 +47,12 @@ struct InferenceSchedulerOptions {
   // Preemption-style handling of device-memory exhaustion: a request whose
   // KV cannot be restored/appended is requeued after a backoff instead of
   // failing, up to this many attempts. Memory freed by completing or
-  // offloaded LIPs lets it proceed later.
+  // offloaded LIPs lets it proceed later. The backoff doubles per attempt
+  // (base, 2x, 4x, ...) up to the cap, so a brief pressure spike retries
+  // promptly while sustained pressure is probed at the cap rate.
   uint32_t max_memory_retries = 500;
   SimDuration memory_retry_backoff = Millis(20);
+  SimDuration memory_retry_backoff_cap = Millis(320);
 };
 
 struct InferenceSchedulerStats {
@@ -57,6 +61,10 @@ struct InferenceSchedulerStats {
   uint64_t failed = 0;
   uint64_t batches = 0;
   uint64_t memory_requeues = 0;
+  // Maximum memory_retries seen on any single request (backoff depth).
+  uint32_t max_memory_retry_depth = 0;
+  // Requests cancelled by CancelLip (deadline expiry).
+  uint64_t cancelled = 0;
 };
 
 class InferenceScheduler : public PredService {
@@ -66,6 +74,11 @@ class InferenceScheduler : public PredService {
                      InferenceSchedulerOptions options = {});
 
   void Submit(PredRequest request) override;
+
+  // Deadline expiry: completes every queued and retry-pending request of
+  // `lip` with kDeadlineExceeded. A later Submit from the same lip (journal
+  // replay re-execution) clears the cancellation.
+  void CancelLip(LipId lip) override;
 
   const InferenceSchedulerStats& stats() const { return stats_; }
   const SampleSeries& queue_waits_ms() const { return queue_waits_ms_; }
@@ -91,6 +104,9 @@ class InferenceScheduler : public PredService {
   InferenceSchedulerOptions options_;
 
   std::deque<PredRequest> queue_;
+  // LIPs cancelled by CancelLip whose in-flight memory-retry events must
+  // complete with an error instead of requeueing.
+  std::unordered_set<LipId> cancelled_lips_;
   Simulator::EventId recheck_event_ = 0;
   SimTime next_launch_time_ = 0;
   SimTime last_submit_ = 0;

@@ -21,6 +21,17 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   }
   launched_per_replica_.assign(options_.replicas, 0);
   dead_.assign(options_.replicas, false);
+  // Arm the fault plan's replica-kill schedule. Kills route through the
+  // normal KillReplica path, so with recovery enabled the victims fail over.
+  if (options_.server.fault_plan != nullptr) {
+    for (const auto& [replica, at] : options_.server.fault_plan->replica_kills()) {
+      sim_->ScheduleAt(at, [this, replica = replica] {
+        if (replica < replicas_.size() && !dead_[replica]) {
+          (void)KillReplica(replica);
+        }
+      });
+    }
+  }
 }
 
 size_t SymphonyCluster::LeastLoaded() const {
@@ -88,10 +99,41 @@ size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
           bound) {
         return preferred;
       }
+      // Hot key: the preferred replica is over its bound. The overflow is
+      // both a routing decision and a load signal (see MaybeShedOnOverflow).
+      NoteOverflow();
       return LeastLoaded();
     }
   }
   return 0;
+}
+
+void SymphonyCluster::NoteOverflow() const {
+  ++overflow_events_;
+  SimTime now = sim_->now();
+  if (now - overflow_window_start_ > options_.overflow_window) {
+    overflow_window_start_ = now;
+    overflow_in_window_ = 0;
+  }
+  ++overflow_in_window_;
+}
+
+void SymphonyCluster::MaybeShedOnOverflow() {
+  if (!options_.rebalance_on_overflow || !options_.enable_recovery ||
+      overflow_in_window_ < options_.overflow_threshold) {
+    return;
+  }
+  SimTime now = sim_->now();
+  if (last_overflow_rebalance_ >= 0 &&
+      now - last_overflow_rebalance_ < options_.overflow_cooldown) {
+    return;
+  }
+  last_overflow_rebalance_ = now;
+  overflow_in_window_ = 0;
+  ++overflow_rebalances_;
+  // Deferred one dispatch: Launch's placement must settle before migration
+  // decisions read the load it just added.
+  sim_->ScheduleAt(now, [this] { (void)Rebalance(); });
 }
 
 std::function<void(LipId)> SymphonyCluster::MakeOnExit(uint64_t uid) {
@@ -112,6 +154,7 @@ SymphonyCluster::ClusterLip SymphonyCluster::Launch(
     std::function<void(LipId)> on_exit) {
   size_t replica = RouteFor(affinity_key);
   ++launched_per_replica_[replica];
+  MaybeShedOnOverflow();
   if (!options_.enable_recovery) {
     LipId lip = replicas_[replica]->Launch(std::move(name), std::move(program),
                                            std::move(on_exit));
@@ -379,6 +422,8 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   }
   snap.failovers = failovers_;
   snap.migrations = migrations_;
+  snap.overflow_events = overflow_events_;
+  snap.overflow_rebalances = overflow_rebalances_;
   return snap;
 }
 

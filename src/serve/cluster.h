@@ -55,6 +55,16 @@ struct ClusterOptions {
   bool enable_recovery = false;
   // How a recovered LIP's KV cache is rebuilt (kAuto: cost-model choice).
   RecoveryMode recovery_mode = RecoveryMode::kAuto;
+  // Event-driven rebalancing: under kAffinityBounded, each routing decision
+  // that overflows away from its preferred replica is evidence of a hot key.
+  // When `overflow_threshold` overflows accumulate within `overflow_window`,
+  // a Rebalance pass runs immediately (at most once per `overflow_cooldown`)
+  // instead of waiting for the next fixed-period StartAutoRebalance tick.
+  // Requires enable_recovery; other routing policies never overflow.
+  bool rebalance_on_overflow = true;
+  uint32_t overflow_threshold = 4;
+  SimDuration overflow_window = Millis(50);
+  SimDuration overflow_cooldown = Millis(100);
 };
 
 class SymphonyCluster {
@@ -139,6 +149,8 @@ class SymphonyCluster {
     uint64_t migrations = 0;   // Migrate/Rebalance moves.
     uint64_t lips_replayed = 0;
     uint64_t replay_divergences = 0;
+    uint64_t overflow_events = 0;      // kAffinityBounded hot-key overflows.
+    uint64_t overflow_rebalances = 0;  // Rebalances those overflows triggered.
   };
   ClusterSnapshot Snapshot() const;
 
@@ -157,6 +169,11 @@ class SymphonyCluster {
 
   size_t LeastLoaded() const;
   size_t FirstLiveFrom(size_t preferred) const;
+  // Records a kAffinityBounded overflow (RouteFor is const; the counters are
+  // routing observability, not routing state).
+  void NoteOverflow() const;
+  // Runs an immediate Rebalance if recent overflows crossed the threshold.
+  void MaybeShedOnOverflow();
   std::function<void(LipId)> MakeOnExit(uint64_t uid);
   // Replays `rec` on `target` from a copy of its journal; updates placement.
   void ReplayOnto(LipRecord& rec, size_t target);
@@ -173,6 +190,12 @@ class SymphonyCluster {
   uint64_t next_uid_ = 1;
   uint64_t failovers_ = 0;
   uint64_t migrations_ = 0;
+  // Overflow-driven rebalance state (mutable: see NoteOverflow).
+  mutable uint64_t overflow_events_ = 0;
+  mutable uint32_t overflow_in_window_ = 0;
+  mutable SimTime overflow_window_start_ = 0;
+  uint64_t overflow_rebalances_ = 0;
+  SimTime last_overflow_rebalance_ = -1;
   RebalanceHook rebalance_hook_;
 };
 

@@ -1,6 +1,9 @@
 #include "src/serve/server.h"
 
+#include <algorithm>
 #include <utility>
+
+#include "src/common/hash.h"
 
 namespace symphony {
 
@@ -33,45 +36,156 @@ KvfsOptions MakeKvfsOptions(const ServerOptions& options, Simulator* sim,
 
 }  // namespace
 
-// Executes tools from the registry; while a LIP waits out a slow call, its
-// KV files are offloaded to host memory (§4.3) and restored lazily by the
-// next pred.
+// Executes tools from the registry with the full failure-semantics stack:
+// per-tool circuit breaker, injected faults (FaultPlan), per-attempt
+// timeouts, and exponential-backoff retries of transient failures. While a
+// LIP waits out a slow call its KV files are offloaded to host memory (§4.3)
+// and restored lazily by the next pred. Only the final result of the loop
+// reaches the runtime (and thus the syscall journal), so a recovered LIP
+// replays exactly the failures it observed.
 class SymphonyServer::ServerToolService : public ToolService {
  public:
-  ServerToolService(SymphonyServer* server) : server_(server) {}
+  ServerToolService(SymphonyServer* server)
+      : server_(server),
+        jitter_rng_(Mix64(server->options_.tool_seed ^ 0x7e7a11ULL)) {}
 
   void Invoke(LipId lip, ThreadId thread, const std::string& tool,
               const std::string& args,
               std::function<void(ToolResult)> complete) override {
     (void)thread;
-    StatusOr<ToolInvocation> run = server_->tools_->Run(tool, args);
-    if (!run.ok()) {
-      // Deliver the error after a scheduler turn, never synchronously.
-      server_->sim_->ScheduleAt(server_->sim_->now(),
-                                [complete = std::move(complete), st = run.status()] {
-                                  complete(ToolResult{st, ""});
-                                });
-      return;
+    // The calling LIP's tool-call ordinal (the runtime charges usage before
+    // invoking us): the replay-invariant identity FaultPlan keys on.
+    uint64_t ordinal = server_->runtime_->GetUsage(lip).tool_calls;
+    Attempt(lip, tool, args, ordinal, 1, std::move(complete));
+  }
+
+  const ToolServiceStats& stats() const { return stats_; }
+
+  const CircuitBreaker* breaker(const std::string& tool) const {
+    auto it = breakers_.find(tool);
+    return it == breakers_.end() ? nullptr : &it->second;
+  }
+
+  uint64_t TotalBreakerOpens() const {
+    uint64_t total = 0;
+    for (const auto& [name, b] : breakers_) {
+      total += b.opens();
     }
-    const ServerOptions& options = server_->options_;
-    if (options.offload_kv_on_tool_io &&
-        run->latency >= options.min_io_for_offload) {
-      server_->kvfs_->OffloadOwnedBy(lip);
-    }
-    ToolInvocation invocation = std::move(*run);
-    if (server_->options_.trace != nullptr) {
-      server_->options_.trace->Span("tools", tool, server_->sim_->now(),
-                                    invocation.latency);
-    }
-    server_->sim_->ScheduleAfter(
-        invocation.latency,
-        [complete = std::move(complete), invocation = std::move(invocation)] {
-          complete(ToolResult{invocation.status, invocation.output});
-        });
+    return total;
   }
 
  private:
+  void Attempt(LipId lip, const std::string& tool, const std::string& args,
+               uint64_t ordinal, uint32_t attempt,
+               std::function<void(ToolResult)> complete) {
+    Simulator* sim = server_->sim_;
+    const ServerOptions& options = server_->options_;
+    ++stats_.attempts;
+    CircuitBreaker& breaker =
+        breakers_.try_emplace(tool, options.breaker).first->second;
+    if (options.breaker.enabled && !breaker.Allow(sim->now())) {
+      // Open breaker: fail instantly without paying tool latency. Still
+      // eligible for retry — the backoff may outlast the cooldown.
+      ++stats_.breaker_rejections;
+      FailOrRetry(lip, tool, args, ordinal, attempt,
+                  UnavailableError("circuit open for tool '" + tool + "'"),
+                  std::move(complete));
+      return;
+    }
+    StatusOr<ToolInvocation> run = server_->tools_->Run(tool, args);
+    if (!run.ok()) {
+      // Registry errors (unknown tool) are caller errors: permanent, and
+      // invisible to the breaker. Deliver after a scheduler turn, never
+      // synchronously.
+      ++stats_.failures;
+      sim->ScheduleAt(sim->now(),
+                      [complete = std::move(complete), st = run.status()] {
+                        complete(ToolResult{st, ""});
+                      });
+      return;
+    }
+    ToolInvocation invocation = std::move(*run);
+    FaultDecision fault;
+    if (options.fault_plan != nullptr) {
+      fault = options.fault_plan->OnToolCall(tool, sim->now(), args, ordinal,
+                                             attempt);
+    }
+    SimDuration latency = invocation.latency;
+    if (fault.latency_factor != 1.0) {
+      latency = static_cast<SimDuration>(static_cast<double>(latency) *
+                                         fault.latency_factor);
+    }
+    Status outcome = !fault.status.ok() ? fault.status : invocation.status;
+    if (options.tool_retry.call_timeout > 0 &&
+        latency > options.tool_retry.call_timeout) {
+      // The caller gives up at the timeout; the (simulated) backend work is
+      // abandoned. This is how latency-tail faults convert into retries.
+      latency = options.tool_retry.call_timeout;
+      ++stats_.timeouts;
+      outcome = DeadlineExceededError("tool '" + tool + "' timed out");
+    }
+    if (outcome.ok() && options.offload_kv_on_tool_io &&
+        latency >= options.min_io_for_offload) {
+      server_->kvfs_->OffloadOwnedBy(lip);
+    }
+    if (options.trace != nullptr) {
+      options.trace->Span("tools", tool, sim->now(), latency);
+    }
+    sim->ScheduleAfter(
+        latency, [this, lip, tool, args, ordinal, attempt,
+                  outcome = std::move(outcome),
+                  output = std::move(invocation.output),
+                  complete = std::move(complete)]() mutable {
+          CircuitBreaker& b =
+              breakers_.try_emplace(tool, server_->options_.breaker)
+                  .first->second;
+          if (outcome.ok()) {
+            b.RecordSuccess();
+            complete(ToolResult{std::move(outcome), std::move(output)});
+            return;
+          }
+          if (IsTransientError(outcome.code())) {
+            b.RecordFailure(server_->sim_->now());
+          }
+          FailOrRetry(lip, tool, args, ordinal, attempt, std::move(outcome),
+                      std::move(complete));
+        });
+  }
+
+  void FailOrRetry(LipId lip, const std::string& tool, const std::string& args,
+                   uint64_t ordinal, uint32_t attempt, Status why,
+                   std::function<void(ToolResult)> complete) {
+    const ToolRetryOptions& retry = server_->options_.tool_retry;
+    Simulator* sim = server_->sim_;
+    if (attempt >= retry.max_attempts || !IsTransientError(why.code())) {
+      ++stats_.failures;
+      sim->ScheduleAt(sim->now(),
+                      [complete = std::move(complete), why = std::move(why)] {
+                        complete(ToolResult{std::move(why), ""});
+                      });
+      return;
+    }
+    ++stats_.retries;
+    SimDuration backoff = retry.backoff_base;
+    for (uint32_t i = 1; i < attempt && backoff < retry.backoff_cap; ++i) {
+      backoff *= 2;
+    }
+    backoff = std::min(backoff, retry.backoff_cap);
+    if (retry.backoff_jitter > 0.0) {
+      backoff += static_cast<SimDuration>(static_cast<double>(backoff) *
+                                          retry.backoff_jitter *
+                                          jitter_rng_.NextDouble());
+    }
+    sim->ScheduleAfter(backoff, [this, lip, tool, args, ordinal, attempt,
+                                 complete = std::move(complete)]() mutable {
+      Attempt(lip, tool, args, ordinal, attempt + 1, std::move(complete));
+    });
+  }
+
   SymphonyServer* server_;
+  Rng jitter_rng_;
+  std::unordered_map<std::string, CircuitBreaker> breakers_;
+  ToolServiceStats stats_;
 };
 
 SymphonyServer::SymphonyServer(Simulator* sim, ServerOptions options)
@@ -96,6 +210,9 @@ SymphonyServer::SymphonyServer(Simulator* sim, ServerOptions options)
     device_->set_trace(options_.trace);
     runtime_->set_trace(options_.trace);
   }
+  if (options_.fault_plan != nullptr) {
+    options_.fault_plan->ArmKvPressure(sim_, kvfs_.get());
+  }
 }
 
 SymphonyServer::~SymphonyServer() = default;
@@ -116,6 +233,146 @@ LipId SymphonyServer::LaunchWithQuota(std::string name, LipQuota quota,
   return lip;
 }
 
+SymphonyServer::AdmitResult SymphonyServer::Submit(LaunchSpec spec) {
+  AdmitResult result;
+  if (!options_.admission.enabled) {
+    SimTime abs =
+        spec.deadline > 0 ? sim_->now() + spec.deadline : SimTime{0};
+    result.lip = LaunchAdmitted(std::move(spec), abs);
+    result.status = Status::Ok();
+    return result;
+  }
+  ++admission_stats_.submitted;
+  if (live_admitted_ < options_.admission.max_live_lips) {
+    SimTime abs =
+        spec.deadline > 0 ? sim_->now() + spec.deadline : SimTime{0};
+    result.lip = LaunchAdmitted(std::move(spec), abs);
+    result.status = Status::Ok();
+    return result;
+  }
+  size_t depth = admission_queue_depth();
+  SimDuration projected = ProjectedQueueDelay(depth);
+  if (depth >= options_.admission.max_queue) {
+    ++admission_stats_.rejected_full;
+    result.status = UnavailableError("admission queue full");
+    result.retry_after = projected;
+    return result;
+  }
+  if (spec.deadline > 0 && projected > spec.deadline) {
+    // The request would very likely blow its deadline waiting; shedding it
+    // now is cheaper for everyone than serving it late (goodput over
+    // throughput).
+    ++admission_stats_.rejected_deadline;
+    result.status =
+        UnavailableError("projected queue delay exceeds request deadline");
+    result.retry_after = projected;
+    return result;
+  }
+  uint32_t priority = std::min(spec.priority, kPriorityLevels - 1);
+  QueuedLaunch entry;
+  entry.enqueued = sim_->now();
+  entry.expire = spec.deadline > 0 ? sim_->now() + spec.deadline : SimTime{0};
+  entry.spec = std::move(spec);
+  admission_queue_[priority].push_back(std::move(entry));
+  ++admission_stats_.queued;
+  result.status = Status::Ok();
+  result.queued = true;
+  return result;
+}
+
+LipId SymphonyServer::LaunchAdmitted(LaunchSpec spec, SimTime abs_deadline) {
+  bool tracked = options_.admission.enabled;
+  if (tracked) {
+    ++live_admitted_;
+    ++admission_stats_.admitted;
+  }
+  SimTime start = sim_->now();
+  auto user_exit = std::move(spec.on_exit);
+  auto on_exit = [this, tracked, start,
+                  user_exit = std::move(user_exit)](LipId lip) {
+    if (tracked) {
+      double service_s = ToSeconds(sim_->now() - start);
+      double alpha = options_.admission.service_ewma_alpha;
+      service_ewma_s_ = service_ewma_s_ == 0.0
+                            ? service_s
+                            : (1.0 - alpha) * service_ewma_s_ +
+                                  alpha * service_s;
+      --live_admitted_;
+    }
+    if (user_exit) {
+      user_exit(lip);
+    }
+    if (tracked) {
+      AdmitFromQueue();
+    }
+  };
+  LipId lip = runtime_->Launch(std::move(spec.name), std::move(spec.program),
+                               std::move(on_exit));
+  if (spec.has_quota) {
+    runtime_->SetQuota(lip, spec.quota);
+  }
+  if (abs_deadline > 0) {
+    runtime_->SetDeadline(lip, abs_deadline);
+  }
+  return lip;
+}
+
+void SymphonyServer::AdmitFromQueue() {
+  while (live_admitted_ < options_.admission.max_live_lips) {
+    bool found = false;
+    QueuedLaunch item;
+    for (auto& queue : admission_queue_) {
+      while (!queue.empty()) {
+        if (queue.front().expire > 0 && sim_->now() >= queue.front().expire) {
+          // Its deadline passed while it waited: launching now would only
+          // burn decode steps on a guaranteed-late answer.
+          ++admission_stats_.shed_expired;
+          queue.pop_front();
+          continue;
+        }
+        item = std::move(queue.front());
+        queue.pop_front();
+        found = true;
+        break;
+      }
+      if (found) {
+        break;
+      }
+    }
+    if (!found) {
+      return;
+    }
+    (void)LaunchAdmitted(std::move(item.spec), item.expire);
+  }
+}
+
+SimDuration SymphonyServer::ProjectedQueueDelay(size_t depth) const {
+  double service_s =
+      service_ewma_s_ > 0.0
+          ? service_ewma_s_
+          : ToSeconds(options_.admission.initial_service_estimate);
+  uint32_t slots = std::max<uint32_t>(options_.admission.max_live_lips, 1);
+  return DurationFromSeconds(service_s * static_cast<double>(depth + 1) /
+                             static_cast<double>(slots));
+}
+
+size_t SymphonyServer::admission_queue_depth() const {
+  size_t depth = 0;
+  for (const auto& queue : admission_queue_) {
+    depth += queue.size();
+  }
+  return depth;
+}
+
+const ToolServiceStats& SymphonyServer::tool_stats() const {
+  return tool_service_->stats();
+}
+
+const CircuitBreaker* SymphonyServer::tool_breaker(
+    const std::string& tool) const {
+  return tool_service_->breaker(tool);
+}
+
 SymphonyServer::MetricsSnapshot SymphonyServer::Snapshot() const {
   MetricsSnapshot snap;
   snap.gpu_utilization = device_->Utilization();
@@ -128,6 +385,18 @@ SymphonyServer::MetricsSnapshot SymphonyServer::Snapshot() const {
   snap.kv_restored_pages = kvfs_->stats().restored_pages;
   snap.transfer_bytes = device_->stats().transfer_bytes;
   snap.mean_queue_wait_ms = scheduler_->queue_waits_ms().mean();
+  snap.memory_requeues = scheduler_->stats().memory_requeues;
+  snap.preds_cancelled = scheduler_->stats().cancelled;
+  snap.tool_retries = tool_service_->stats().retries;
+  snap.tool_timeouts = tool_service_->stats().timeouts;
+  snap.tool_failures = tool_service_->stats().failures;
+  snap.breaker_opens = tool_service_->TotalBreakerOpens();
+  snap.breaker_rejections = tool_service_->stats().breaker_rejections;
+  snap.deadlines_expired = runtime_->stats().deadlines_expired;
+  snap.deadline_rejections = runtime_->stats().deadline_rejections;
+  snap.admission_rejected =
+      admission_stats_.rejected_full + admission_stats_.rejected_deadline;
+  snap.admission_shed = admission_stats_.shed_expired;
   return snap;
 }
 

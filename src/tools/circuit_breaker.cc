@@ -1,0 +1,67 @@
+#include "src/tools/circuit_breaker.h"
+
+namespace symphony {
+
+bool CircuitBreaker::Allow(SimTime now) {
+  switch (state_) {
+    case State::kClosed:
+      return true;
+    case State::kOpen:
+      if (now - opened_at_ >= options_.cooldown) {
+        state_ = State::kHalfOpen;
+        probe_in_flight_ = true;
+        return true;  // This caller is the probe.
+      }
+      ++rejections_;
+      return false;
+    case State::kHalfOpen:
+      if (!probe_in_flight_) {
+        probe_in_flight_ = true;
+        return true;
+      }
+      ++rejections_;
+      return false;
+  }
+  return true;
+}
+
+void CircuitBreaker::RecordSuccess() {
+  consecutive_failures_ = 0;
+  probe_in_flight_ = false;
+  state_ = State::kClosed;
+}
+
+void CircuitBreaker::RecordFailure(SimTime now) {
+  probe_in_flight_ = false;
+  if (state_ == State::kHalfOpen) {
+    // Failed probe: straight back to open, cooldown restarts.
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+    return;
+  }
+  ++consecutive_failures_;
+  if (state_ == State::kClosed &&
+      consecutive_failures_ >= options_.failure_threshold) {
+    state_ = State::kOpen;
+    opened_at_ = now;
+    ++opens_;
+  }
+}
+
+CircuitBreaker::State CircuitBreaker::state(SimTime now) const {
+  if (state_ == State::kOpen && now - opened_at_ >= options_.cooldown) {
+    return State::kHalfOpen;
+  }
+  return state_;
+}
+
+SimDuration CircuitBreaker::RetryAfter(SimTime now) const {
+  if (state_ != State::kOpen) {
+    return 0;
+  }
+  SimDuration remaining = options_.cooldown - (now - opened_at_);
+  return remaining > 0 ? remaining : 0;
+}
+
+}  // namespace symphony

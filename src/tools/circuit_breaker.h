@@ -1,0 +1,71 @@
+// Per-tool circuit breaker for the server-side tool layer.
+//
+// A tool that fails repeatedly (an injected outage, a saturated backend) is
+// not worth paying latency and retry budgets against: the breaker fails the
+// call instantly with kUnavailable until the tool shows signs of life. The
+// classic three-state machine over virtual time:
+//
+//   kClosed    — normal operation. `failure_threshold` CONSECUTIVE transient
+//                failures trip it to kOpen.
+//   kOpen      — every call is rejected without invoking the tool, until
+//                `cooldown` has elapsed since the trip.
+//   kHalfOpen  — after the cooldown, exactly one probe call is let through;
+//                its success closes the breaker, its failure re-opens it
+//                (restarting the cooldown).
+//
+// Only transient failures (IsTransientError) should be recorded — a caller
+// error like kInvalidArgument says nothing about the tool's health. The
+// state machine is purely virtual-time-driven and has no randomness, so it
+// replays deterministically.
+#ifndef SRC_TOOLS_CIRCUIT_BREAKER_H_
+#define SRC_TOOLS_CIRCUIT_BREAKER_H_
+
+#include <cstdint>
+
+#include "src/sim/time.h"
+
+namespace symphony {
+
+struct CircuitBreakerOptions {
+  bool enabled = true;
+  uint32_t failure_threshold = 5;    // Consecutive failures to trip open.
+  SimDuration cooldown = Millis(250);  // Open duration before the probe.
+};
+
+class CircuitBreaker {
+ public:
+  enum class State : uint8_t { kClosed, kOpen, kHalfOpen };
+
+  explicit CircuitBreaker(CircuitBreakerOptions options = {})
+      : options_(options) {}
+
+  // May this call proceed? Rejections are counted; when the cooldown has
+  // elapsed the first caller becomes the half-open probe.
+  bool Allow(SimTime now);
+
+  // Outcome of a call that was allowed through.
+  void RecordSuccess();
+  void RecordFailure(SimTime now);
+
+  State state(SimTime now) const;
+
+  // Remaining cooldown when open (0 otherwise) — the retry-after hint.
+  SimDuration RetryAfter(SimTime now) const;
+
+  uint32_t consecutive_failures() const { return consecutive_failures_; }
+  uint64_t opens() const { return opens_; }
+  uint64_t rejections() const { return rejections_; }
+
+ private:
+  CircuitBreakerOptions options_;
+  State state_ = State::kClosed;
+  uint32_t consecutive_failures_ = 0;
+  SimTime opened_at_ = 0;
+  bool probe_in_flight_ = false;
+  uint64_t opens_ = 0;
+  uint64_t rejections_ = 0;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_TOOLS_CIRCUIT_BREAKER_H_

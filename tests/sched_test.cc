@@ -392,5 +392,160 @@ TEST(PoissonPolicyTest, LowRateLaunchesImmediately) {
   EXPECT_TRUE(policy.ShouldLaunch(input).launch);
 }
 
+TEST(SizeTimeoutPolicyTest, EmptyQueueWaitsFullTimeout) {
+  SizeTimeoutPolicy policy(4, Millis(100));
+  BatchPolicyInput input;
+  input.queue_size = 0;
+  input.oldest_wait = 0;
+  input.max_batch = 32;
+  BatchDecision d = policy.ShouldLaunch(input);
+  EXPECT_FALSE(d.launch);
+  EXPECT_EQ(d.recheck_after, Millis(100));
+}
+
+TEST(SizeTimeoutPolicyTest, WaitExactlyAtTimeoutLaunches) {
+  SizeTimeoutPolicy policy(64, Millis(5));
+  BatchPolicyInput input;
+  input.queue_size = 1;
+  input.oldest_wait = Millis(5);  // Boundary: >= is launch, not >.
+  input.max_batch = 32;
+  EXPECT_TRUE(policy.ShouldLaunch(input).launch);
+  input.oldest_wait = Millis(5) - 1;
+  EXPECT_FALSE(policy.ShouldLaunch(input).launch);
+}
+
+TEST(SizeTimeoutPolicyTest, RecheckIsClampedToMinimumGranularity) {
+  // 1ns short of the timeout must not schedule a 1ns recheck spin.
+  SizeTimeoutPolicy policy(64, Millis(5));
+  BatchPolicyInput input;
+  input.queue_size = 1;
+  input.oldest_wait = Millis(5) - 1;
+  input.max_batch = 32;
+  BatchDecision d = policy.ShouldLaunch(input);
+  EXPECT_FALSE(d.launch);
+  EXPECT_GE(d.recheck_after, Micros(50));
+}
+
+TEST(SizeTimeoutPolicyTest, TargetAboveMaxBatchLaunchesAtMaxBatch) {
+  // target_size 64 but the device caps at 8: a full device batch must not
+  // wait for the unreachable target.
+  SizeTimeoutPolicy policy(64, Seconds(10));
+  BatchPolicyInput input;
+  input.queue_size = 8;
+  input.oldest_wait = 0;
+  input.max_batch = 8;
+  EXPECT_TRUE(policy.ShouldLaunch(input).launch);
+}
+
+TEST(SizeTimeoutPolicyTest, ZeroTimeoutDegeneratesToEager) {
+  SizeTimeoutPolicy policy(64, 0);
+  BatchPolicyInput input;
+  input.queue_size = 1;
+  input.oldest_wait = 0;
+  input.max_batch = 32;
+  EXPECT_TRUE(policy.ShouldLaunch(input).launch);
+}
+
+TEST(MemoryBackoffTest, RequeuesWithExponentialBackoffUntilPressureLifts) {
+  // Pin the whole GPU pool for a window; a pred arriving during it cannot
+  // restore its KV and must survive on backoff retries, then complete when
+  // the pins release. The doubling backoff keeps the retry count far below
+  // a fixed-interval scheme's.
+  Simulator sim;
+  Model model(ModelConfig::Tiny());
+  KvfsOptions kv_options;
+  kv_options.gpu_page_budget = 8;
+  kv_options.host_page_budget = 256;
+  kv_options.clock = [&sim] { return sim.now(); };
+  Kvfs kvfs(kv_options);
+  Device device(&sim, CostModel(ModelConfig::Tiny()));
+  InferenceSchedulerOptions options;
+  options.memory_retry_backoff = Millis(1);
+  options.memory_retry_backoff_cap = Millis(8);
+  InferenceScheduler scheduler(&sim, &kvfs, &model, &device,
+                               std::make_unique<EagerPolicy>(), options);
+  LipRuntime runtime(&sim, &kvfs);
+  runtime.set_pred_service(&scheduler);
+
+  // Occupy all 8 GPU pages with a pinned admin file until t=50ms.
+  KvHandle pressure = *kvfs.CreateAnonymous(kAdminLip);
+  std::vector<TokenRecord> filler(8 * kPageTokens);
+  for (size_t i = 0; i < filler.size(); ++i) {
+    filler[i] = TokenRecord{0, static_cast<int32_t>(i), 0};
+  }
+  ASSERT_TRUE(kvfs.Append(pressure, filler).ok());
+  ASSERT_TRUE(kvfs.Pin(pressure).ok());
+  sim.ScheduleAt(Millis(50), [&] {
+    ASSERT_TRUE(kvfs.Unpin(pressure).ok());
+    ASSERT_TRUE(kvfs.Close(pressure).ok());
+  });
+
+  Status status;
+  SimTime done_at = -1;
+  runtime.Launch("starved", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> dists =
+        co_await ctx.pred_tokens(kv, 260, 261);
+    status = dists.status();
+    done_at = ctx.now();
+    co_return;
+  });
+  sim.Run();
+
+  ASSERT_TRUE(status.ok()) << status;
+  EXPECT_GT(done_at, Millis(50));  // Only succeeded after the window closed.
+  const InferenceSchedulerStats& stats = scheduler.stats();
+  EXPECT_GT(stats.memory_requeues, 0u);
+  EXPECT_GE(stats.max_memory_retry_depth, 4u);
+  // Doubling schedule over ~50ms: 1+2+4+8+8+... needs ~9 retries; a fixed
+  // 1ms interval would need ~50. Allow slack but catch a non-growing backoff.
+  EXPECT_LE(stats.memory_requeues, 15u);
+  EXPECT_EQ(stats.failed, 0u);
+}
+
+TEST(MemoryBackoffTest, RetryBudgetExhaustionFailsTheRequest) {
+  // Pressure that never lifts: the request must fail with the original
+  // kResourceExhausted once max_memory_retries is spent, not spin forever.
+  Simulator sim;
+  Model model(ModelConfig::Tiny());
+  KvfsOptions kv_options;
+  kv_options.gpu_page_budget = 8;
+  kv_options.host_page_budget = 256;
+  kv_options.clock = [&sim] { return sim.now(); };
+  Kvfs kvfs(kv_options);
+  Device device(&sim, CostModel(ModelConfig::Tiny()));
+  InferenceSchedulerOptions options;
+  options.memory_retry_backoff = Millis(1);
+  options.memory_retry_backoff_cap = Millis(4);
+  options.max_memory_retries = 6;
+  InferenceScheduler scheduler(&sim, &kvfs, &model, &device,
+                               std::make_unique<EagerPolicy>(), options);
+  LipRuntime runtime(&sim, &kvfs);
+  runtime.set_pred_service(&scheduler);
+
+  KvHandle pressure = *kvfs.CreateAnonymous(kAdminLip);
+  std::vector<TokenRecord> filler(8 * kPageTokens);
+  for (size_t i = 0; i < filler.size(); ++i) {
+    filler[i] = TokenRecord{0, static_cast<int32_t>(i), 0};
+  }
+  ASSERT_TRUE(kvfs.Append(pressure, filler).ok());
+  ASSERT_TRUE(kvfs.Pin(pressure).ok());
+
+  Status status;
+  runtime.Launch("doomed", [&](LipContext& ctx) -> Task {
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> dists =
+        co_await ctx.pred_tokens(kv, 260, 261);
+    status = dists.status();
+    co_return;
+  });
+  sim.Run();
+
+  EXPECT_EQ(status.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(scheduler.stats().memory_requeues, 6u);
+  EXPECT_EQ(scheduler.stats().max_memory_retry_depth, 6u);
+  EXPECT_EQ(scheduler.stats().failed, 1u);
+}
+
 }  // namespace
 }  // namespace symphony
