@@ -1,0 +1,256 @@
+// Migration benchmark for the content-addressed snapshot store (src/store).
+//
+// Part 1 (delta vs full migration): a long-context LIP runs on a 2-replica
+// cluster with recovery enabled; its replica is killed at a swept fraction of
+// the baseline finish time. With journal checkpointing on, migration ships
+// only the latest checkpoint reference plus the live journal suffix (delta);
+// with it off, the full journal crosses the interconnect. Reports shipped
+// bytes, recovery latency, and bit-identity of the output.
+//
+// Part 2 (warm import vs recompute): a hot named KV prefix lives on one
+// replica. A consumer pinned to the *other* replica either finds a warm copy
+// (published through the store by SharePrefixes) or must recompute the whole
+// prefix from tokens. Swept over prefix length to show the crossover past
+// which importing beats recomputing, alongside the cost model's prediction
+// (Replayer::Choose).
+//
+// Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/recovery/replayer.h"
+#include "src/serve/cluster.h"
+
+namespace symphony {
+namespace {
+
+// A worker with a large cached context: prefill `prefix_tokens`, then decode
+// `decode_tokens` one at a time. Deterministic given the LIP's RNG seed.
+LipProgram MakeWorker(int prefix_tokens, int decode_tokens) {
+  return [prefix_tokens, decode_tokens](LipContext& ctx) -> Task {
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < prefix_tokens; ++i) {
+      prompt.push_back(static_cast<TokenId>(kFirstWordToken + (i % 1000)));
+    }
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> first = co_await ctx.pred(kv, prompt);
+    if (!first.ok()) {
+      co_return;
+    }
+    TokenId t = first->back().Sample(ctx.uniform(), 0.8);
+    for (int i = 0; i < decode_tokens; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      if (!d.ok()) {
+        co_return;
+      }
+      t = d->back().Sample(ctx.uniform(), 0.8);
+      ctx.emit(" " + std::to_string(t));
+    }
+    co_return;
+  };
+}
+
+struct MigrationRun {
+  double finish_s = 0.0;
+  uint64_t ship_bytes = 0;
+  uint64_t delta_ships = 0;
+  uint64_t full_ships = 0;
+  uint64_t checkpoints = 0;
+  std::string output;
+  bool diverged = false;
+};
+
+MigrationRun RunMigration(bool checkpoint, double kill_frac,
+                          double baseline_finish_s) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.enable_recovery = true;
+  options.checkpoint_journals = checkpoint;
+  options.checkpoint_interval = 8;
+  options.delta_migration = checkpoint;
+  SymphonyCluster cluster(&sim, options);
+
+  SymphonyCluster::ClusterLip id =
+      cluster.Launch("worker", "", MakeWorker(2048, 48));
+  MigrationRun run;
+  if (kill_frac > 0.0) {
+    sim.RunUntil(DurationFromSeconds(kill_frac * baseline_finish_s));
+    (void)cluster.KillReplica(id.replica);
+  }
+  sim.Run();
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  run.finish_s = ToSeconds(sim.now());
+  run.ship_bytes = snap.ship_bytes;
+  run.delta_ships = snap.delta_ships;
+  run.full_ships = snap.full_ships;
+  run.checkpoints = snap.checkpoints;
+  run.output = cluster.Output(id);
+  run.diverged = snap.replay_divergences != 0;
+  return run;
+}
+
+void MigrationSweep() {
+  MigrationRun baseline = RunMigration(/*checkpoint=*/false, 0.0, 0.0);
+
+  BenchTable table({"mode", "kill_frac", "ship_KB", "recovery_ms",
+                    "checkpoints", "bit_identical"});
+  for (bool checkpoint : {false, true}) {
+    for (double frac : {0.25, 0.5, 0.75, 0.9}) {
+      MigrationRun run = RunMigration(checkpoint, frac, baseline.finish_s);
+      const char* mode = checkpoint ? "delta" : "full";
+      double recovery_ms = (run.finish_s - baseline.finish_s) * 1e3;
+      bool identical = !run.diverged && run.output == baseline.output;
+      table.AddRow({mode, Fmt(frac), Fmt(run.ship_bytes / 1024.0, 1),
+                    Fmt(recovery_ms), std::to_string(run.checkpoints),
+                    identical ? "yes" : "NO"});
+      std::printf(
+          "JSON {\"bench\":\"migration\",\"part\":\"ship\",\"mode\":\"%s\","
+          "\"kill_frac\":%.2f,\"ship_bytes\":%llu,\"recovery_ms\":%.3f,"
+          "\"delta_ships\":%llu,\"full_ships\":%llu,\"checkpoints\":%llu,"
+          "\"bit_identical\":%s}\n",
+          mode, frac, static_cast<unsigned long long>(run.ship_bytes),
+          recovery_ms, static_cast<unsigned long long>(run.delta_ships),
+          static_cast<unsigned long long>(run.full_ships),
+          static_cast<unsigned long long>(run.checkpoints),
+          identical ? "true" : "false");
+    }
+  }
+  std::printf("\nbaseline: finish=%.3fs (prefix=2048 decode=48)\n",
+              baseline.finish_s);
+  table.Print("journal shipping: checkpoint delta vs full replay (Llama13B)");
+}
+
+// Builds a `tokens`-long named prefix at `path` and leaves it shared.
+LipProgram MakePublisher(std::string path, int tokens) {
+  return [path, tokens](LipContext& ctx) -> Task {
+    StatusOr<KvHandle> kv = ctx.kv_create(path, kModeShared);
+    if (!kv.ok()) {
+      co_return;
+    }
+    std::vector<TokenId> prompt;
+    for (int i = 0; i < tokens; ++i) {
+      prompt.push_back(static_cast<TokenId>(kFirstWordToken + (i % 1000)));
+    }
+    (void)co_await ctx.pred(*kv, prompt);
+    co_return;
+  };
+}
+
+// Bumps the prefix's open count so SharePrefixes considers it hot.
+LipProgram MakeToucher(std::string path) {
+  return [path](LipContext& ctx) -> Task {
+    (void)ctx.kv_open(path);
+    co_return;
+  };
+}
+
+// A consumer that wants `prefix_tokens` of context, then decodes 16 tokens.
+// If the named prefix exists locally (warm import landed) it forks it;
+// otherwise it recomputes the prefix from tokens.
+LipProgram MakeConsumer(std::string path, int prefix_tokens, bool* warm_hit) {
+  return [path, prefix_tokens, warm_hit](LipContext& ctx) -> Task {
+    KvHandle kv{};
+    StatusOr<KvHandle> shared = ctx.kv_open(path);
+    if (shared.ok()) {
+      *warm_hit = true;
+      kv = *ctx.kv_fork(*shared);
+    } else {
+      *warm_hit = false;
+      kv = *ctx.kv_tmp();
+      std::vector<TokenId> prompt;
+      for (int i = 0; i < prefix_tokens; ++i) {
+        prompt.push_back(static_cast<TokenId>(kFirstWordToken + (i % 1000)));
+      }
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, prompt);
+      if (!d.ok()) {
+        co_return;
+      }
+    }
+    TokenId t = kFirstWordToken;
+    for (int i = 0; i < 16; ++i) {
+      StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, t);
+      if (!d.ok()) {
+        co_return;
+      }
+      t = d->back().Sample(ctx.uniform(), 0.8);
+    }
+    co_return;
+  };
+}
+
+struct ConsumerRun {
+  double latency_s = 0.0;
+  bool warm_hit = false;
+  uint64_t warm_imports = 0;
+};
+
+ConsumerRun RunConsumer(int prefix_tokens, bool share) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.share_min_opens = 2;
+  options.share_min_tokens = 16;
+  SymphonyCluster cluster(&sim, options);
+
+  const std::string path = "/shared/corpus";
+  cluster.replica(0).Launch("publisher", MakePublisher(path, prefix_tokens));
+  sim.Run();
+  cluster.replica(0).Launch("toucher", MakeToucher(path));
+  sim.Run();
+  if (share) {
+    (void)cluster.SharePrefixes();
+    sim.Run();  // Let the deferred import land after its transfer time.
+  }
+
+  ConsumerRun run;
+  double start_s = ToSeconds(sim.now());
+  cluster.replica(1).Launch(
+      "consumer", MakeConsumer(path, prefix_tokens, &run.warm_hit));
+  sim.Run();
+  run.latency_s = ToSeconds(sim.now()) - start_s;
+  run.warm_imports = cluster.Snapshot().warm_imports;
+  return run;
+}
+
+void WarmImportSweep() {
+  BenchTable table({"prefix_tokens", "cold_ms", "warm_ms", "speedup",
+                    "warm_hit", "choose"});
+  CostModel cost{ModelConfig::Llama13B()};
+  for (int tokens : {64, 256, 1024, 4096, 16384}) {
+    ConsumerRun cold = RunConsumer(tokens, /*share=*/false);
+    ConsumerRun warm = RunConsumer(tokens, /*share=*/true);
+    double cold_ms = cold.latency_s * 1e3;
+    double warm_ms = warm.latency_s * 1e3;
+    const char* choose =
+        Replayer::Choose(cost, static_cast<uint64_t>(tokens)) ==
+                RecoveryMode::kImportSnapshot
+            ? "import"
+            : "recompute";
+    table.AddRow({std::to_string(tokens), Fmt(cold_ms), Fmt(warm_ms),
+                  Fmt(cold_ms / warm_ms), warm.warm_hit ? "yes" : "no",
+                  choose});
+    std::printf(
+        "JSON {\"bench\":\"migration\",\"part\":\"warm_import\","
+        "\"prefix_tokens\":%d,\"cold_ms\":%.3f,\"warm_ms\":%.3f,"
+        "\"warm_hit\":%s,\"warm_imports\":%llu,\"choose\":\"%s\"}\n",
+        tokens, cold_ms, warm_ms, warm.warm_hit ? "true" : "false",
+        static_cast<unsigned long long>(warm.warm_imports), choose);
+  }
+  table.Print("cross-replica prefix reuse: warm import vs recompute (Llama13B)");
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  std::printf(
+      "bench_migration: snapshot-store delta migration and prefix sharing\n");
+  symphony::MigrationSweep();
+  symphony::WarmImportSweep();
+  return 0;
+}

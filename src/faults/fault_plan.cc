@@ -37,6 +37,33 @@ FaultDecision FaultPlan::OnToolCall(const std::string& tool, SimTime now,
   return decision;
 }
 
+bool FaultPlan::OnKvTransfer(SimTime now, uint64_t chunk_key, uint32_t attempt,
+                             std::string* bytes) {
+  if (bytes == nullptr || bytes->empty()) {
+    return false;
+  }
+  for (size_t w = 0; w < corruption_.size(); ++w) {
+    const KvCorruptionSpec& spec = corruption_[w];
+    if (now < spec.at || now >= spec.at + spec.duration) {
+      continue;
+    }
+    // One decision stream per (window, chunk, attempt), independent of global
+    // transfer interleaving — same keying discipline as OnToolCall.
+    Rng rng(Mix64(seed_ ^ 0xc0220c7ed5eedULL) ^
+            Mix64(chunk_key + w * 0x9e3779b97f4a7c15ULL + attempt));
+    if (rng.NextDouble() >= spec.prob) {
+      continue;
+    }
+    size_t index = static_cast<size_t>(rng.NextBounded(bytes->size()));
+    uint8_t bit = static_cast<uint8_t>(1u << rng.NextBounded(8));
+    (*bytes)[index] = static_cast<char>(
+        static_cast<uint8_t>((*bytes)[index]) ^ bit);
+    ++stats_.kv_corruptions;
+    return true;
+  }
+  return false;
+}
+
 void FaultPlan::ArmKvPressure(Simulator* sim, Kvfs* kvfs) {
   for (const KvPressureSpec& spec : pressure_) {
     sim->ScheduleAt(spec.at, [this, sim, kvfs, spec] {

@@ -71,10 +71,22 @@ struct KvPressureSpec {
   uint64_t pages = 0;
 };
 
+// Byte-level corruption of KV snapshot transfers: inside [at, at + duration),
+// each transferred chunk is corrupted (one deterministically chosen byte
+// flipped) with probability `prob` per attempt. The snapshot store's
+// per-chunk checksums must catch every flip — corrupted data is never
+// served; the importer retries or falls back to recompute.
+struct KvCorruptionSpec {
+  SimTime at = 0;
+  SimDuration duration = 0;
+  double prob = 1.0;
+};
+
 struct FaultPlanStats {
   uint64_t tool_faults = 0;         // Injected failures (transient + outage).
   uint64_t tool_tail_stretches = 0; // Latency-tail injections.
   uint64_t pressure_windows = 0;    // KV pressure windows actually opened.
+  uint64_t kv_corruptions = 0;      // Chunk transfers corrupted in flight.
 };
 
 class FaultPlan {
@@ -95,6 +107,10 @@ class FaultPlan {
     pressure_.push_back(KvPressureSpec{at, duration, pages});
   }
 
+  void AddKvCorruption(SimTime at, SimDuration duration, double prob = 1.0) {
+    corruption_.push_back(KvCorruptionSpec{at, duration, prob});
+  }
+
   // ---- Consultation (serving layer) ------------------------------------
 
   // Decision for one attempt of one logical tool call. `call_ordinal` is the
@@ -109,6 +125,14 @@ class FaultPlan {
   // In a cluster every replica arms the same windows on its own KVFS.
   void ArmKvPressure(Simulator* sim, Kvfs* kvfs);
 
+  // One KV chunk transfer (snapshot store import): inside a corruption
+  // window, flips one deterministically chosen byte of `bytes` in place with
+  // the window's probability — keyed by (plan seed, chunk, attempt), so a
+  // retried transfer re-draws independently but a replayed run draws the
+  // same corruption. Returns true when it corrupted.
+  bool OnKvTransfer(SimTime now, uint64_t chunk_key, uint32_t attempt,
+                    std::string* bytes);
+
   const std::vector<std::pair<size_t, SimTime>>& replica_kills() const {
     return kills_;
   }
@@ -120,6 +144,7 @@ class FaultPlan {
   std::unordered_map<std::string, ToolFaultSpec> tool_faults_;
   std::vector<std::pair<size_t, SimTime>> kills_;
   std::vector<KvPressureSpec> pressure_;
+  std::vector<KvCorruptionSpec> corruption_;
   FaultPlanStats stats_;
 };
 

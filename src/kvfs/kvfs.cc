@@ -144,6 +144,9 @@ StatusOr<KvHandle> Kvfs::Open(std::string_view path, const OpenOptions& options)
     entry.owner = options.requester;
     entry.mode = options.create_mode;
     entry.last_access = Now();
+    if (options.requester != kAdminLip) {
+      ++entry.opens_total;
+    }
     names_.emplace(std::string(path), id);
     ++stats_.opens;
     return MakeHandle(id, options.requester, /*read=*/true, /*write=*/true);
@@ -162,6 +165,10 @@ StatusOr<KvHandle> Kvfs::Open(std::string_view path, const OpenOptions& options)
     return PermissionDeniedError("write access denied: " + std::string(path));
   }
   entry.last_access = Now();
+  // Admin opens (sharing passes, introspection) don't count toward hotness.
+  if (options.requester != kAdminLip) {
+    ++entry.opens_total;
+  }
   ++stats_.opens;
   return MakeHandle(id, options.requester, options.read, options.write);
 }
@@ -646,6 +653,7 @@ KvFileInfo Kvfs::InfoFor(FileId id) const {
   info.pinned = entry.pinned;
   info.locked = entry.lock_holder != kNoLip;
   info.open_count = entry.open_count;
+  info.opens_total = entry.opens_total;
   info.last_access = entry.last_access;
   return info;
 }

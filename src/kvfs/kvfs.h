@@ -68,6 +68,10 @@ struct KvFileInfo {
   bool pinned = false;
   bool locked = false;
   uint32_t open_count = 0;
+  // Cumulative non-admin Open() calls on the path over the file's lifetime:
+  // the cluster's prefix-sharing pass uses this as its hotness signal (its
+  // own admin export opens don't count).
+  uint64_t opens_total = 0;
   SimTime last_access = 0;
 };
 
@@ -231,6 +235,7 @@ class Kvfs {
     bool unlinked = false;
     LipId lock_holder = kNoLip;
     uint32_t open_count = 0;
+    uint64_t opens_total = 0;  // Cumulative named opens (hotness signal).
     SimTime last_access = 0;
     uint32_t generation = 0;
     bool live = false;

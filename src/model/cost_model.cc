@@ -35,6 +35,15 @@ SimDuration CostModel::BatchTime(std::span<const WorkItem> items) const {
   return hw_.kernel_overhead + DurationFromSeconds(std::max(compute_s, memory_s));
 }
 
+SimDuration CostModel::NetworkTime(uint64_t bytes) const {
+  if (bytes == 0) {
+    return 0;
+  }
+  return hw_.interconnect_latency +
+         DurationFromSeconds(static_cast<double>(bytes) /
+                             hw_.interconnect_bandwidth);
+}
+
 SimDuration CostModel::TransferTime(uint64_t bytes) const {
   return hw_.pcie_latency +
          DurationFromSeconds(static_cast<double>(bytes) / hw_.pcie_bandwidth);

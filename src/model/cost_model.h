@@ -25,6 +25,11 @@ struct HardwareConfig {
   double memory_efficiency = 0.8;
   double pcie_bandwidth = 25e9;      // Bytes/s, host<->device transfers.
   SimDuration pcie_latency = Micros(20);
+  // Replica<->replica / replica<->snapshot-store transfers (cluster
+  // interconnect, e.g. 100 Gb/s Ethernet): journal shipping for migration and
+  // KV snapshot publish/import (src/store) are charged against this.
+  double interconnect_bandwidth = 12.5e9;  // Bytes/s.
+  SimDuration interconnect_latency = Micros(50);
   SimDuration kernel_overhead = Micros(150);  // Per batch step.
   uint64_t hbm_bytes = 80ULL * 1000 * 1000 * 1000;
   uint64_t host_bytes = 256ULL * 1000 * 1000 * 1000;
@@ -55,6 +60,10 @@ class CostModel {
 
   // Host<->device transfer (KV offload/restore).
   SimDuration TransferTime(uint64_t bytes) const;
+
+  // Cross-replica network transfer (journal shipping, snapshot store
+  // publish/import). Zero bytes cost nothing: the data never moved.
+  SimDuration NetworkTime(uint64_t bytes) const;
 
   // KV bytes available on-device after weights and activation reserve.
   uint64_t DeviceKvBudgetBytes() const;

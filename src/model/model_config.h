@@ -10,6 +10,8 @@
 #include <cstdint>
 #include <string>
 
+#include "src/common/hash.h"
+
 namespace symphony {
 
 struct ModelConfig {
@@ -39,6 +41,21 @@ struct ModelConfig {
   }
 
   uint64_t WeightBytes() const { return num_params * bytes_per_weight; }
+
+  // Stable identity of the serving geometry. KV snapshots (src/store) are
+  // keyed by (fingerprint, content): caches are only meaningful between
+  // replicas serving the same model shape.
+  uint64_t Fingerprint() const {
+    uint64_t h = Fnv1a(name);
+    h = HashCombine(h, vocab_size);
+    h = HashCombine(h, num_layers);
+    h = HashCombine(h, num_heads);
+    h = HashCombine(h, num_kv_heads);
+    h = HashCombine(h, head_dim);
+    h = HashCombine(h, num_params);
+    h = HashCombine(h, bytes_per_kv_scalar);
+    return h;
+  }
 
   // Forward-pass FLOPs per token (standard 2 * params approximation).
   double FlopsPerToken() const { return 2.0 * static_cast<double>(num_params); }

@@ -40,12 +40,19 @@
 // program order or synchronization (join / recv / kv_lock). Programs that
 // branch on wall-clock virtual time (ctx.now()) are outside the contract.
 //
-// Open item (ROADMAP): journals grow with the LIP; incremental truncation
-// after a durable KV checkpoint would bound them.
+// Checkpoint truncation (src/store): long-lived LIPs would otherwise grow
+// their journal without bound, so the cluster can install a fold hook that
+// periodically serializes the whole log into the content-addressed snapshot
+// store and truncates the folded prefix from memory. Indices stay LOGICAL:
+// At/EntryCount/total_entries keep counting from the beginning of time, and
+// a folded index answers nullptr from At (FoldedAt distinguishes "truncated"
+// from "past the end"). A journal with a folded prefix must be rehydrated
+// from the store (store/journal_checkpoint.h) before it can drive a replay.
 #ifndef SRC_RECOVERY_JOURNAL_H_
 #define SRC_RECOVERY_JOURNAL_H_
 
 #include <cstdint>
+#include <functional>
 #include <string>
 #include <unordered_map>
 #include <utility>
@@ -127,8 +134,15 @@ class SyscallJournal {
 
   // ---- The log ----------------------------------------------------------
 
-  const std::unordered_map<std::string, std::vector<JournalEntry>>& threads()
-      const {
+  // Per-thread log: `folded` entries have been truncated into the checkpoint
+  // snapshot; `live` holds everything since. Logical index i maps to
+  // live[i - folded].
+  struct ThreadLog {
+    uint64_t folded = 0;
+    std::vector<JournalEntry> live;
+  };
+
+  const std::unordered_map<std::string, ThreadLog>& threads() const {
     return threads_;
   }
 
@@ -137,21 +151,33 @@ class SyscallJournal {
       pred_tokens_ += entry.tokens.size();
     }
     ++total_entries_;
-    threads_[thread_path].push_back(std::move(entry));
+    threads_[thread_path].live.push_back(std::move(entry));
+    MaybeFold();
   }
 
-  // Entry at `index` within `thread_path`'s log, or nullptr past the end.
+  // Entry at LOGICAL `index` within `thread_path`'s log; nullptr past the
+  // end — and for folded indices, which FoldedAt tells apart.
   const JournalEntry* At(const std::string& thread_path, size_t index) const {
     auto it = threads_.find(thread_path);
-    if (it == threads_.end() || index >= it->second.size()) {
+    if (it == threads_.end() || index < it->second.folded) {
       return nullptr;
     }
-    return &it->second[index];
+    size_t offset = index - it->second.folded;
+    return offset < it->second.live.size() ? &it->second.live[offset] : nullptr;
   }
 
+  // True when `index` was truncated into the checkpoint: its entry is in the
+  // snapshot store, not in memory.
+  bool FoldedAt(const std::string& thread_path, size_t index) const {
+    auto it = threads_.find(thread_path);
+    return it != threads_.end() && index < it->second.folded;
+  }
+
+  // Logical entry count (folded prefix included).
   size_t EntryCount(const std::string& thread_path) const {
     auto it = threads_.find(thread_path);
-    return it == threads_.end() ? 0 : it->second.size();
+    return it == threads_.end() ? 0
+                                : it->second.folded + it->second.live.size();
   }
 
   uint64_t total_entries() const { return total_entries_; }
@@ -160,10 +186,85 @@ class SyscallJournal {
   // rebuild, and the input to the recompute-vs-import cost decision.
   uint64_t pred_tokens() const { return pred_tokens_; }
 
+  // ---- Checkpoint truncation (src/store) --------------------------------
+
+  // Entries resident in memory / truncated into the checkpoint.
+  uint64_t folded_entries() const { return folded_entries_; }
+  uint64_t live_entries() const { return total_entries_ - folded_entries_; }
+
+  // Snapshot-store manifest key holding the folded prefix; 0 = none. The
+  // journal owns one store reference to it (released when the LIP completes
+  // or the next fold supersedes it).
+  uint64_t checkpoint_key() const { return checkpoint_key_; }
+
+  // Fold hook, installed by the serving layer: called from Append once
+  // live_entries() reaches `interval`, with this journal as argument. The
+  // hook is expected to publish the serialized log to the snapshot store and
+  // call FoldPrefix; a hook that fails and does neither simply leaves the
+  // journal fatter until the next interval crossing.
+  using FoldHook = std::function<void(SyscallJournal&)>;
+  void set_fold_hook(FoldHook hook, uint64_t interval) {
+    fold_hook_ = std::move(hook);
+    fold_interval_ = interval;
+  }
+
+  // Truncates every live entry into checkpoint `key` (the caller has already
+  // published the serialized prefix covering them).
+  void FoldPrefix(uint64_t key) {
+    for (auto& entry : threads_) {
+      ThreadLog& log = entry.second;
+      log.folded += log.live.size();
+      folded_entries_ += log.live.size();
+      log.live.clear();
+    }
+    checkpoint_key_ = key;
+  }
+
+  // Reinstates the folded prefix of one thread from deserialized entries
+  // (rehydration before replay). `prefix` must hold exactly the folded count.
+  Status ReinstatePrefix(const std::string& thread_path,
+                         std::vector<JournalEntry> prefix) {
+    auto it = threads_.find(thread_path);
+    if (it == threads_.end()) {
+      return NotFoundError("no journaled thread " + thread_path);
+    }
+    ThreadLog& log = it->second;
+    if (prefix.size() != log.folded) {
+      return InternalError("checkpoint prefix length mismatch for thread " +
+                           thread_path);
+    }
+    for (JournalEntry& entry : log.live) {
+      prefix.push_back(std::move(entry));
+    }
+    log.live = std::move(prefix);
+    folded_entries_ -= log.folded;
+    log.folded = 0;
+    return Status::Ok();
+  }
+
+  // Drops the checkpoint reference without releasing it: ownership moved to
+  // another journal object (the replay copy made by ReplayOnto).
+  void AbandonCheckpoint() { checkpoint_key_ = 0; }
+
  private:
-  std::unordered_map<std::string, std::vector<JournalEntry>> threads_;
+  void MaybeFold() {
+    if (!fold_hook_ || folding_ || fold_interval_ == 0 ||
+        live_entries() < fold_interval_) {
+      return;
+    }
+    folding_ = true;
+    fold_hook_(*this);
+    folding_ = false;
+  }
+
+  std::unordered_map<std::string, ThreadLog> threads_;
   uint64_t total_entries_ = 0;
   uint64_t pred_tokens_ = 0;
+  uint64_t folded_entries_ = 0;
+  uint64_t checkpoint_key_ = 0;
+  FoldHook fold_hook_;
+  uint64_t fold_interval_ = 0;
+  bool folding_ = false;
 };
 
 }  // namespace symphony

@@ -316,6 +316,11 @@ Status LipRuntime::BeginReplay(LipId lip, RecoveryMode mode,
     return InvalidArgumentError(
         "snapshot-import replay requires the model config");
   }
+  if (proc.journal->folded_entries() > 0) {
+    return FailedPreconditionError(
+        "journal has a checkpoint-truncated prefix; rehydrate it from the "
+        "snapshot store (RehydrateJournal) before replay");
+  }
   auto replay = std::make_unique<Process::ReplayState>();
   replay->mode = mode;
   replay->config = config;
@@ -626,6 +631,13 @@ void LipRuntime::SubmitPred(ThreadId thread, KvHandle kv,
       journal->Append(path, std::move(entry));
     } else if (!dead && from_journal) {
       const JournalEntry* expect = journal->At(path, verify_index);
+      if (expect == nullptr && journal->FoldedAt(path, verify_index)) {
+        // The entry was folded into a store checkpoint while this recompute
+        // was in flight; its states are durable there, nothing to verify.
+        *result = std::move(r);
+        Ready(thread);
+        return;
+      }
       bool match = expect != nullptr &&
                    r.status.code() == expect->status.code() &&
                    r.dists.size() == expect->states.size();

@@ -163,6 +163,7 @@ void InferenceScheduler::LaunchBatch() {
       continue;
     }
     queue_waits_ms_.Add(ToMillis(sim_->now() - request.submit_time));
+    stats_.prefix_reuse_tokens += *context;
     items.push_back(WorkItem{request.tokens.size(), *context});
     total_tokens += request.tokens.size();
     batch->push_back(std::move(request));

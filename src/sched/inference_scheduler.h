@@ -65,6 +65,10 @@ struct InferenceSchedulerStats {
   uint32_t max_memory_retry_depth = 0;
   // Requests cancelled by CancelLip (deadline expiry).
   uint64_t cancelled = 0;
+  // Context tokens already present in KV files when preds were batched (the
+  // file's length at submit). Warm prefixes — forked, restored, or imported
+  // from the cluster snapshot store — show up here as compute not re-done.
+  uint64_t prefix_reuse_tokens = 0;
 };
 
 class InferenceScheduler : public PredService {

@@ -1,5 +1,6 @@
 #include "src/serve/cluster.h"
 
+#include <algorithm>
 #include <cassert>
 
 #include "src/common/hash.h"
@@ -21,6 +22,15 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   }
   launched_per_replica_.assign(options_.replicas, 0);
   dead_.assign(options_.replicas, false);
+  cost_model_ = std::make_unique<CostModel>(options_.server.model,
+                                            options_.server.hardware);
+  SnapshotStoreOptions store_options;
+  store_options.chunk_bytes = options_.store_chunk_bytes;
+  store_options.sim = sim_;
+  store_options.cost = cost_model_.get();
+  store_options.fault_plan = options_.server.fault_plan;
+  store_options.trace = options_.server.trace;
+  store_ = std::make_unique<SnapshotStore>(store_options);
   // Arm the fault plan's replica-kill schedule. Kills route through the
   // normal KillReplica path, so with recovery enabled the victims fail over.
   if (options_.server.fault_plan != nullptr) {
@@ -142,11 +152,46 @@ std::function<void(LipId)> SymphonyCluster::MakeOnExit(uint64_t uid) {
     if (it == records_.end()) {
       return;
     }
-    it->second.done = true;
-    if (it->second.user_on_exit) {
-      it->second.user_on_exit(lip);
+    LipRecord& rec = it->second;
+    rec.done = true;
+    // The journal's life is over: drop its checkpoint's store reference.
+    if (rec.journal != nullptr && rec.journal->checkpoint_key() != 0) {
+      (void)store_->Release(rec.journal->checkpoint_key());
+      rec.journal->AbandonCheckpoint();
+    }
+    if (rec.user_on_exit) {
+      rec.user_on_exit(lip);
     }
   };
+}
+
+void SymphonyCluster::InstallCheckpointHook(
+    const std::shared_ptr<SyscallJournal>& journal, size_t replica) {
+  if (!options_.checkpoint_journals) {
+    return;
+  }
+  uint64_t fingerprint = options_.server.model.Fingerprint();
+  journal->set_fold_hook(
+      [this, replica, fingerprint](SyscallJournal& j) {
+        StatusOr<CheckpointOutcome> out =
+            CheckpointJournal(*store_, replica, fingerprint, j);
+        if (!out.ok()) {
+          // Typically a corruption window on the previous checkpoint's
+          // chunks: the fold is skipped and the journal stays fatter until
+          // the next interval crossing.
+          return;
+        }
+        ++checkpoints_;
+        checkpoint_entries_folded_ += out->folded_entries;
+        if (options_.server.trace != nullptr) {
+          options_.server.trace->Instant(
+              "store",
+              "checkpoint:replica" + std::to_string(replica) + ":" +
+                  std::to_string(out->folded_entries) + "entries",
+              sim_->now());
+        }
+      },
+      options_.checkpoint_interval);
 }
 
 SymphonyCluster::ClusterLip SymphonyCluster::Launch(
@@ -177,21 +222,155 @@ SymphonyCluster::ClusterLip SymphonyCluster::Launch(
   rec.lip = runtime.LaunchWithSeed(std::move(name), seed, std::move(program),
                                    MakeOnExit(uid));
   runtime.EnableJournal(rec.lip, rec.journal);
+  InstallCheckpointHook(rec.journal, replica);
   return ClusterLip{replica, rec.lip, uid};
 }
 
+SymphonyCluster::ClusterAdmitResult SymphonyCluster::Submit(
+    SymphonyServer::LaunchSpec spec, const std::string& affinity_key) {
+  size_t preferred = RouteFor(affinity_key);
+  MaybeShedOnOverflow();
+  // Candidate order: the routed replica first, then (with reroute enabled)
+  // the other live replicas from least to most loaded.
+  std::vector<size_t> candidates{preferred};
+  if (options_.reroute_on_reject) {
+    std::vector<std::pair<size_t, size_t>> rest;  // (live lips, replica)
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (i == preferred || dead_[i]) {
+        continue;
+      }
+      rest.emplace_back(replicas_[i]->runtime().live_lips(), i);
+    }
+    std::sort(rest.begin(), rest.end());
+    for (const auto& [load, i] : rest) {
+      candidates.push_back(i);
+    }
+  }
+  ClusterAdmitResult shed;
+  shed.replica = preferred;
+  shed.result.retry_after = 0;
+  for (size_t c : candidates) {
+    // LaunchSpec is copyable (LipProgram re-invokes); keep ours for the
+    // next candidate.
+    SymphonyServer::AdmitResult result = replicas_[c]->Submit(spec);
+    if (result.status.ok()) {
+      ++launched_per_replica_[c];
+      ClusterAdmitResult out;
+      out.result = std::move(result);
+      out.replica = c;
+      out.rerouted = c != preferred;
+      if (out.rerouted) {
+        ++submit_reroutes_;
+      }
+      return out;
+    }
+    // Remember the gentlest backpressure hint across the rejections.
+    if (shed.result.retry_after == 0 ||
+        (result.retry_after > 0 &&
+         result.retry_after < shed.result.retry_after)) {
+      shed.result = std::move(result);
+      shed.replica = c;
+    }
+  }
+  ++submit_sheds_;
+  return shed;
+}
+
 void SymphonyCluster::ReplayOnto(LipRecord& rec, size_t target) {
-  SymphonyServer& server = *replicas_[target];
   // Replay from a copy: late completions on the old replica may still append
   // to the original journal, and the new incarnation records into its own.
   auto journal = std::make_shared<SyscallJournal>(*rec.journal);
-  CostModel cost(options_.server.model, options_.server.hardware);
+  // The copy inherits the checkpoint's store reference; neuter the original
+  // so a straggler fold on the abandoned incarnation can't double-own it.
+  rec.journal->set_fold_hook(nullptr, 0);
+  rec.journal->AbandonCheckpoint();
+  rec.journal = journal;
+  rec.in_flight = true;
+  ShipJournal(rec.uid, target, std::move(journal));
+}
+
+void SymphonyCluster::ShipJournal(uint64_t uid, size_t target,
+                                  std::shared_ptr<SyscallJournal> journal) {
+  auto it = records_.find(uid);
+  if (it == records_.end() || it->second.done) {
+    return;
+  }
+  // Measure the live suffix BEFORE rehydration turns the folded prefix back
+  // into live entries.
+  uint64_t suffix_bytes = JournalLiveBytes(*journal);
+  bool had_checkpoint = journal->folded_entries() > 0;
+  SimDuration fetch_time = 0;
+  if (had_checkpoint) {
+    // The target pulls the checkpoint from the store (paying interconnect
+    // only for chunks it doesn't already cache) so the full log exists for
+    // replay. A corruption window fails the fetch — retry shortly; the
+    // verified chunks never reach the journal.
+    StatusOr<RehydrateOutcome> fetch =
+        RehydrateJournal(*store_, target, *journal);
+    if (!fetch.ok()) {
+      ++rehydrate_retries_;
+      sim_->ScheduleAfter(Millis(2), [this, uid, target, journal] {
+        ShipJournal(uid, target, journal);
+      });
+      return;
+    }
+    fetch_time = fetch->transfer_time;
+  }
+  bool delta = had_checkpoint && options_.delta_migration;
+  // Delta ships only the live suffix over the wire (the prefix came out of
+  // the store above); full ships the whole serialized log and the store
+  // fetch was just the local mechanism, so only the wire bytes are charged.
+  uint64_t ship = delta ? suffix_bytes : JournalLiveBytes(*journal);
+  SimDuration delay =
+      cost_model_->NetworkTime(ship) + (delta ? fetch_time : 0);
+  ship_bytes_ += ship;
+  if (delta) {
+    ++delta_ships_;
+  } else {
+    ++full_ships_;
+  }
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "store", std::string(delta ? "delta-ship:" : "full-ship:") +
+                     it->second.name + ":" + std::to_string(ship) + "B",
+        sim_->now());
+  }
+  sim_->ScheduleAfter(delay, [this, uid, target, journal] {
+    StartReplay(uid, target, journal);
+  });
+}
+
+void SymphonyCluster::StartReplay(uint64_t uid, size_t target,
+                                  std::shared_ptr<SyscallJournal> journal) {
+  auto it = records_.find(uid);
+  if (it == records_.end()) {
+    return;
+  }
+  LipRecord& rec = it->second;
+  if (rec.done) {
+    rec.in_flight = false;
+    return;
+  }
+  if (dead_[target]) {
+    // The target died while the journal was in flight; divert to a survivor
+    // (the journal bytes already moved — no second shipping charge).
+    bool any_live = false;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      any_live = any_live || !dead_[i];
+    }
+    if (!any_live) {
+      rec.in_flight = false;
+      return;
+    }
+    target = LeastLoaded();
+  }
   ReplayOutcome outcome = Replayer::Replay(
-      server.runtime(), cost, &options_.server.model, journal, rec.program,
-      options_.recovery_mode, MakeOnExit(rec.uid));
-  rec.journal = std::move(journal);
+      replicas_[target]->runtime(), *cost_model_, &options_.server.model,
+      journal, rec.program, options_.recovery_mode, MakeOnExit(uid));
   rec.replica = target;
   rec.lip = outcome.lip;
+  rec.in_flight = false;
+  InstallCheckpointHook(journal, target);
   if (options_.server.trace != nullptr) {
     options_.server.trace->Instant(
         "recovery", "restore:" + rec.name + "@replica" +
@@ -221,7 +400,10 @@ Status SymphonyCluster::KillReplica(size_t index) {
   std::vector<uint64_t> victims;
   for (auto& entry : records_) {
     LipRecord& rec = entry.second;
-    if (rec.replica == index && !rec.done && !runtime.LipDone(rec.lip)) {
+    // In-flight records still name this replica but their journal is already
+    // on its way elsewhere (StartReplay re-targets if needed); skip them.
+    if (rec.replica == index && !rec.done && !rec.in_flight &&
+        !runtime.LipDone(rec.lip)) {
       victims.push_back(rec.uid);
     }
   }
@@ -244,7 +426,7 @@ Status SymphonyCluster::KillReplica(size_t index) {
     ++failovers_;
   }
   SYMPHONY_LOG(kInfo) << "replica " << index << " killed; " << victims.size()
-                      << " lip(s) replayed on replica " << target;
+                      << " lip journal(s) shipped to replica " << target;
   return Status::Ok();
 }
 
@@ -269,6 +451,9 @@ Status SymphonyCluster::Migrate(const ClusterLip& id, size_t to_replica) {
   if (to_replica == rec.replica) {
     return InvalidArgumentError("lip already on replica " +
                                 std::to_string(to_replica));
+  }
+  if (rec.in_flight) {
+    return FailedPreconditionError("lip migration already in flight");
   }
   LipRuntime& source = replicas_[rec.replica]->runtime();
   if (rec.done || source.LipDone(rec.lip)) {
@@ -324,7 +509,7 @@ size_t SymphonyCluster::Rebalance() {
       }
       for (auto& entry : records_) {
         LipRecord& rec = entry.second;
-        if (rec.replica != i || rec.done ||
+        if (rec.replica != i || rec.done || rec.in_flight ||
             replicas_[i]->runtime().LipDone(rec.lip)) {
           continue;
         }
@@ -372,6 +557,114 @@ void SymphonyCluster::ScheduleRebalance(SimDuration period) {
 void SymphonyCluster::StartAutoRebalance(SimDuration period) {
   assert(period > 0);
   ScheduleRebalance(period);
+}
+
+size_t SymphonyCluster::SharePrefixes() {
+  size_t warmed = 0;
+  uint64_t fingerprint = options_.server.model.Fingerprint();
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (dead_[i]) {
+      continue;
+    }
+    Kvfs& kvfs = replicas_[i]->kvfs();
+    for (const KvFileInfo& info : kvfs.ListAll()) {
+      if (info.path.empty() || info.opens_total < options_.share_min_opens ||
+          info.length < options_.share_min_tokens) {
+        continue;
+      }
+      auto shared = shared_prefixes_.find(info.path);
+      if (shared != shared_prefixes_.end() &&
+          shared->second.tokens >= info.length) {
+        continue;  // Already published at this length or longer.
+      }
+      // The Replayer's cost model has the final say: a prefix whose PCIe
+      // import costs more than one recompute prefill isn't worth sharing.
+      if (Replayer::Choose(*cost_model_, info.length) !=
+          RecoveryMode::kImportSnapshot) {
+        ++warm_skips_cost_;
+        continue;
+      }
+      OpenOptions open;
+      open.requester = kAdminLip;
+      open.read = true;
+      StatusOr<KvHandle> handle = kvfs.Open(info.path, open);
+      if (!handle.ok()) {
+        continue;  // E.g. exclusively locked; try again next pass.
+      }
+      StatusOr<KvFileSnapshot> snap = kvfs.ExportSnapshot(*handle);
+      (void)kvfs.Close(*handle);
+      if (!snap.ok()) {
+        continue;
+      }
+      SnapshotPayload payload;
+      payload.label = "kvfs:" + info.path;
+      payload.model_fingerprint = fingerprint;
+      payload.tokens = info.length;
+      payload.streams.emplace_back("records",
+                                   SerializeTokenRecords(snap->records));
+      PublishResult published = store_->Publish(i, payload);
+      ++prefix_publishes_;
+      if (shared != shared_prefixes_.end()) {
+        if (shared->second.key != published.key) {
+          (void)store_->Release(shared->second.key);
+          shared->second.key = published.key;
+        } else {
+          (void)store_->Release(published.key);  // Same content: extra ref.
+        }
+        shared->second.tokens = info.length;
+      } else {
+        shared_prefixes_[info.path] = SharedPrefix{published.key, info.length};
+      }
+      // Warm every live replica that lacks the path. The file materializes
+      // after the fetched bytes' interconnect time.
+      for (size_t j = 0; j < replicas_.size(); ++j) {
+        if (j == i || dead_[j] || replicas_[j]->kvfs().Exists(info.path)) {
+          continue;
+        }
+        StatusOr<FetchResult> fetch = store_->Fetch(j, published.key);
+        if (!fetch.ok()) {
+          // Corruption window: the import is abandoned — the replica falls
+          // back to recomputing the prefix when it needs it.
+          ++warm_corrupt_fallbacks_;
+          continue;
+        }
+        StatusOr<std::vector<TokenRecord>> records =
+            ParseTokenRecords(fetch->streams[0].second);
+        if (!records.ok()) {
+          ++warm_corrupt_fallbacks_;
+          continue;
+        }
+        auto import = std::make_shared<KvFileSnapshot>();
+        import->path = info.path;
+        import->mode = snap->mode;
+        import->records = std::move(*records);
+        ++warm_imports_;
+        warm_import_tokens_ += info.length;
+        ++warmed;
+        sim_->ScheduleAfter(fetch->transfer_time, [this, j, import] {
+          if (!dead_[j]) {
+            (void)replicas_[j]->ImportNamedSnapshot(*import);
+          }
+        });
+      }
+    }
+  }
+  return warmed;
+}
+
+void SymphonyCluster::SchedulePrefixSharing(SimDuration period) {
+  sim_->ScheduleAfter(period, [this, period] {
+    (void)SharePrefixes();
+    // Keep the chain alive only while there is work (see ScheduleRebalance).
+    if (LiveLipsTotal() > 0) {
+      SchedulePrefixSharing(period);
+    }
+  });
+}
+
+void SymphonyCluster::StartPrefixSharing(SimDuration period) {
+  assert(period > 0);
+  SchedulePrefixSharing(period);
 }
 
 size_t SymphonyCluster::LiveLipsTotal() const {
@@ -424,6 +717,20 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   snap.migrations = migrations_;
   snap.overflow_events = overflow_events_;
   snap.overflow_rebalances = overflow_rebalances_;
+  snap.checkpoints = checkpoints_;
+  snap.checkpoint_entries_folded = checkpoint_entries_folded_;
+  snap.delta_ships = delta_ships_;
+  snap.full_ships = full_ships_;
+  snap.ship_bytes = ship_bytes_;
+  snap.rehydrate_retries = rehydrate_retries_;
+  snap.prefix_publishes = prefix_publishes_;
+  snap.warm_imports = warm_imports_;
+  snap.warm_import_tokens = warm_import_tokens_;
+  snap.warm_skips_cost = warm_skips_cost_;
+  snap.warm_corrupt_fallbacks = warm_corrupt_fallbacks_;
+  snap.submit_reroutes = submit_reroutes_;
+  snap.submit_sheds = submit_sheds_;
+  snap.store = store_->stats();
   return snap;
 }
 

@@ -18,6 +18,18 @@
 // replicas; Rebalance migrates LIPs off overloaded replicas. Replayed LIPs
 // fast-forward deterministically and produce bit-identical output (see
 // journal.h for the determinism contract).
+//
+// Snapshot store (src/store): the cluster owns one content-addressed KV
+// snapshot store shared by three consumers —
+//   * journal checkpointing: each journal folds into the store every
+//     checkpoint_interval entries and truncates the folded prefix, bounding
+//     journal memory for long-lived LIPs;
+//   * delta migration: Migrate/KillReplica ship (checkpoint ref + live
+//     suffix) instead of the whole log; replay starts after the cost model's
+//     interconnect time for the bytes that actually moved;
+//   * cross-replica prefix sharing: SharePrefixes() publishes hot named KV
+//     files and warm-imports them on other replicas when the Replayer's cost
+//     model says import beats recompute.
 #ifndef SRC_SERVE_CLUSTER_H_
 #define SRC_SERVE_CLUSTER_H_
 
@@ -29,6 +41,8 @@
 
 #include "src/recovery/replayer.h"
 #include "src/serve/server.h"
+#include "src/store/journal_checkpoint.h"
+#include "src/store/snapshot_store.h"
 
 namespace symphony {
 
@@ -65,6 +79,24 @@ struct ClusterOptions {
   uint32_t overflow_threshold = 4;
   SimDuration overflow_window = Millis(50);
   SimDuration overflow_cooldown = Millis(100);
+  // ---- Snapshot store (src/store) --------------------------------------
+  // Fold each LIP's journal into the store and truncate the folded prefix
+  // every `checkpoint_interval` live entries. Requires enable_recovery.
+  bool checkpoint_journals = false;
+  uint64_t checkpoint_interval = 64;
+  // Ship (checkpoint ref + live suffix) on Migrate/KillReplica instead of
+  // the full serialized journal. Replay start is delayed by the cost model's
+  // interconnect time for the shipped bytes either way.
+  bool delta_migration = true;
+  uint64_t store_chunk_bytes = 4096;
+  // Prefix sharing: a named file is publishable once it has been opened this
+  // often and is at least this long (shorter prefixes lose to recompute
+  // anyway — the Replayer cost model has the final say per file).
+  uint64_t share_min_opens = 2;
+  uint64_t share_min_tokens = 64;
+  // Cluster admission tier: Submit() tries other live replicas (ascending
+  // load) when the routed replica rejects, before shedding.
+  bool reroute_on_reject = true;
 };
 
 class SymphonyCluster {
@@ -88,6 +120,19 @@ class SymphonyCluster {
   ClusterLip Launch(std::string name, const std::string& affinity_key,
                     LipProgram program,
                     std::function<void(LipId)> on_exit = nullptr);
+
+  // Admission-controlled launch with a cluster-level fallback tier: when the
+  // routed replica's Submit rejects (kUnavailable + retry_after), the other
+  // live replicas are tried in ascending live-LIP order before the request
+  // is shed. The returned status/retry_after on a shed is the minimum
+  // backpressure hint across all replicas.
+  struct ClusterAdmitResult {
+    SymphonyServer::AdmitResult result;
+    size_t replica = 0;     // Where it was admitted/queued (or last tried).
+    bool rerouted = false;  // Admitted somewhere other than the routed pick.
+  };
+  ClusterAdmitResult Submit(SymphonyServer::LaunchSpec spec,
+                            const std::string& affinity_key = "");
 
   // The replica the router would pick for `affinity_key` right now. Dead
   // replicas are never picked.
@@ -128,6 +173,22 @@ class SymphonyCluster {
   // chain stops when it drains, so Simulator::Run still terminates).
   void StartAutoRebalance(SimDuration period);
 
+  // ---- Cross-replica prefix sharing (src/store) ------------------------
+
+  // One sharing pass: publishes hot named KV files (>= share_min_opens
+  // opens, >= share_min_tokens tokens, import cheaper than recompute per the
+  // Replayer cost model) into the snapshot store and warm-imports them on
+  // every live replica that lacks the path. The import lands after the
+  // fetched bytes' interconnect time. Returns files warmed this pass.
+  size_t SharePrefixes();
+
+  // Runs SharePrefixes() every `period` while the cluster has live LIPs.
+  void StartPrefixSharing(SimDuration period);
+
+  // The cluster-wide snapshot store (journal checkpoints + shared prefixes).
+  SnapshotStore& store() { return *store_; }
+  const SnapshotStore& store() const { return *store_; }
+
   // ---- Introspection ---------------------------------------------------
 
   // Current placement of `id` (follows migrations via uid when recovery is
@@ -151,6 +212,22 @@ class SymphonyCluster {
     uint64_t replay_divergences = 0;
     uint64_t overflow_events = 0;      // kAffinityBounded hot-key overflows.
     uint64_t overflow_rebalances = 0;  // Rebalances those overflows triggered.
+    // Snapshot store consumers.
+    uint64_t checkpoints = 0;               // Journal folds into the store.
+    uint64_t checkpoint_entries_folded = 0; // Entries truncated by folds.
+    uint64_t delta_ships = 0;           // Migrations shipping suffix only.
+    uint64_t full_ships = 0;            // Migrations shipping the whole log.
+    uint64_t ship_bytes = 0;            // Journal bytes moved (both kinds).
+    uint64_t rehydrate_retries = 0;     // Rehydrations re-tried (corruption).
+    uint64_t prefix_publishes = 0;      // Hot files published by sharing.
+    uint64_t warm_imports = 0;          // Files warm-imported on a replica.
+    uint64_t warm_import_tokens = 0;
+    uint64_t warm_skips_cost = 0;       // Sharing skipped: recompute cheaper.
+    uint64_t warm_corrupt_fallbacks = 0; // Imports abandoned to recompute.
+    // Cluster admission tier.
+    uint64_t submit_reroutes = 0;       // Rejections salvaged elsewhere.
+    uint64_t submit_sheds = 0;          // Rejected by every live replica.
+    SnapshotStoreStats store;
   };
   ClusterSnapshot Snapshot() const;
 
@@ -164,6 +241,10 @@ class SymphonyCluster {
     size_t replica = 0;
     LipId lip = kNoLip;
     bool done = false;
+    // Journal shipped to a new replica but replay not started yet: the LIP
+    // must not be re-migrated, and replica/lip still name the old (halted or
+    // detached) incarnation so Output()/Locate() keep answering.
+    bool in_flight = false;
     std::shared_ptr<SyscallJournal> journal;
   };
 
@@ -175,13 +256,27 @@ class SymphonyCluster {
   // Runs an immediate Rebalance if recent overflows crossed the threshold.
   void MaybeShedOnOverflow();
   std::function<void(LipId)> MakeOnExit(uint64_t uid);
-  // Replays `rec` on `target` from a copy of its journal; updates placement.
+  // Ships `rec`'s journal to `target` (delta or full) and replays it there
+  // after the shipped bytes' interconnect time; updates placement when the
+  // replay actually starts.
   void ReplayOnto(LipRecord& rec, size_t target);
+  // Rehydrates + schedules the deferred replay; re-tries itself while the
+  // checkpoint fetch hits a corruption window.
+  void ShipJournal(uint64_t uid, size_t target,
+                   std::shared_ptr<SyscallJournal> journal);
+  void StartReplay(uint64_t uid, size_t target,
+                   std::shared_ptr<SyscallJournal> journal);
+  // Installs the journal's store fold hook for its current host replica.
+  void InstallCheckpointHook(const std::shared_ptr<SyscallJournal>& journal,
+                             size_t replica);
   void ScheduleRebalance(SimDuration period);
+  void SchedulePrefixSharing(SimDuration period);
   size_t LiveLipsTotal() const;
 
   Simulator* sim_;
   ClusterOptions options_;
+  std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<SnapshotStore> store_;
   std::vector<std::unique_ptr<SymphonyServer>> replicas_;
   mutable size_t next_round_robin_ = 0;
   std::vector<uint64_t> launched_per_replica_;
@@ -197,6 +292,25 @@ class SymphonyCluster {
   uint64_t overflow_rebalances_ = 0;
   SimTime last_overflow_rebalance_ = -1;
   RebalanceHook rebalance_hook_;
+  // Snapshot-store consumer state.
+  struct SharedPrefix {
+    uint64_t key = 0;      // Store manifest (one reference held).
+    uint64_t tokens = 0;   // File length at publish (skip unchanged files).
+  };
+  std::unordered_map<std::string, SharedPrefix> shared_prefixes_;
+  uint64_t checkpoints_ = 0;
+  uint64_t checkpoint_entries_folded_ = 0;
+  uint64_t delta_ships_ = 0;
+  uint64_t full_ships_ = 0;
+  uint64_t ship_bytes_ = 0;
+  uint64_t rehydrate_retries_ = 0;
+  uint64_t prefix_publishes_ = 0;
+  uint64_t warm_imports_ = 0;
+  uint64_t warm_import_tokens_ = 0;
+  uint64_t warm_skips_cost_ = 0;
+  uint64_t warm_corrupt_fallbacks_ = 0;
+  uint64_t submit_reroutes_ = 0;
+  uint64_t submit_sheds_ = 0;
 };
 
 }  // namespace symphony

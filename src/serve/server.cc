@@ -233,6 +233,25 @@ LipId SymphonyServer::LaunchWithQuota(std::string name, LipQuota quota,
   return lip;
 }
 
+Status SymphonyServer::ImportNamedSnapshot(const KvFileSnapshot& snapshot) {
+  if (snapshot.path.empty()) {
+    return InvalidArgumentError("snapshot has no path");
+  }
+  if (kvfs_->Exists(snapshot.path)) {
+    return AlreadyExistsError("kv file exists: " + snapshot.path);
+  }
+  SYMPHONY_ASSIGN_OR_RETURN(KvHandle handle,
+                            kvfs_->ImportSnapshot(snapshot, kAdminLip));
+  Status linked = kvfs_->Link(handle, snapshot.path);
+  if (!linked.ok()) {
+    (void)kvfs_->Close(handle);  // Reclaims the orphaned anonymous file.
+    return linked;
+  }
+  // Closing leaves the named file in place for LIPs to open; the snapshot's
+  // mode (applied by ImportSnapshot) governs who may.
+  return kvfs_->Close(handle);
+}
+
 SymphonyServer::AdmitResult SymphonyServer::Submit(LaunchSpec spec) {
   AdmitResult result;
   if (!options_.admission.enabled) {

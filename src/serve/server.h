@@ -169,6 +169,12 @@ class SymphonyServer {
   // are shed at dequeue (their on_exit never fires).
   AdmitResult Submit(LaunchSpec spec);
 
+  // Materializes a cluster-shared KV snapshot as a named file on this
+  // replica (cross-replica prefix warming, src/store). Pages land on the
+  // host tier; the first pred that reads the file pays PCIe, not prefill.
+  // kAlreadyExists when the path is already present — the warm was a no-op.
+  Status ImportNamedSnapshot(const KvFileSnapshot& snapshot);
+
   // Component access.
   Simulator* simulator() { return sim_; }
   Kvfs& kvfs() { return *kvfs_; }

@@ -4,6 +4,7 @@
 
 #include <set>
 #include <string>
+#include <vector>
 
 #include "src/serve/cluster.h"
 
@@ -131,6 +132,179 @@ TEST(ClusterTest, ReplicasShareTheVirtualClock) {
   EXPECT_GE(t0, Millis(10));
   EXPECT_GE(t1, Millis(20));
   EXPECT_GE(sim.now(), Millis(20));
+}
+
+// ---- Cluster admission tier (reroute before shed) -----------------------
+
+LipProgram LongSleeper() {
+  return [](LipContext& ctx) -> Task {
+    co_await ctx.sleep(Millis(50));
+    co_return;
+  };
+}
+
+SymphonyServer::LaunchSpec SleeperSpec(const std::string& name) {
+  SymphonyServer::LaunchSpec spec;
+  spec.name = name;
+  spec.program = LongSleeper();
+  return spec;
+}
+
+TEST(ClusterAdmissionTest, RejectedSubmitsRerouteToLessLoadedReplica) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kCacheAffinity);
+  options.server.admission.enabled = true;
+  options.server.admission.max_live_lips = 2;
+  options.server.admission.max_queue = 1;
+  SymphonyCluster cluster(&sim, options);
+  // One affinity key: every Submit routes to the same replica, which can
+  // hold 2 running + 1 queued. The rest must spill to the other replica
+  // instead of being shed.
+  std::vector<SymphonyCluster::ClusterAdmitResult> results;
+  for (int i = 0; i < 6; ++i) {
+    results.push_back(
+        cluster.Submit(SleeperSpec("s" + std::to_string(i)), "hot-key"));
+  }
+  size_t admitted = 0;
+  size_t rerouted = 0;
+  for (const auto& r : results) {
+    if (r.result.status.ok()) {
+      ++admitted;
+    }
+    if (r.rerouted) {
+      ++rerouted;
+    }
+  }
+  EXPECT_EQ(admitted, 6u);  // Nothing shed: the spare replica absorbed it.
+  EXPECT_EQ(rerouted, 3u);  // 2 running + 1 queued fit on the routed pick.
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.submit_reroutes, 3u);
+  EXPECT_EQ(snap.submit_sheds, 0u);
+  sim.Run();
+}
+
+TEST(ClusterAdmissionTest, ShedsOnlyWhenEveryReplicaRejects) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kCacheAffinity);
+  options.server.admission.enabled = true;
+  options.server.admission.max_live_lips = 1;
+  options.server.admission.max_queue = 1;
+  SymphonyCluster cluster(&sim, options);
+  // Capacity across the whole cluster: 2 running + 2 queued = 4.
+  std::vector<SymphonyCluster::ClusterAdmitResult> results;
+  for (int i = 0; i < 6; ++i) {
+    results.push_back(
+        cluster.Submit(SleeperSpec("s" + std::to_string(i)), "hot-key"));
+  }
+  size_t shed = 0;
+  for (const auto& r : results) {
+    if (!r.result.status.ok()) {
+      ++shed;
+      EXPECT_EQ(r.result.status.code(), StatusCode::kUnavailable);
+      EXPECT_GT(r.result.retry_after, 0);  // Backpressure hint survives.
+    }
+  }
+  EXPECT_EQ(shed, 2u);
+  EXPECT_EQ(cluster.Snapshot().submit_sheds, 2u);
+  sim.Run();
+}
+
+TEST(ClusterAdmissionTest, RerouteDisabledShedsAtTheRoutedReplica) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kCacheAffinity);
+  options.server.admission.enabled = true;
+  options.server.admission.max_live_lips = 1;
+  options.server.admission.max_queue = 0;
+  options.reroute_on_reject = false;
+  SymphonyCluster cluster(&sim, options);
+  ASSERT_TRUE(cluster.Submit(SleeperSpec("a"), "hot-key").result.status.ok());
+  SymphonyCluster::ClusterAdmitResult second =
+      cluster.Submit(SleeperSpec("b"), "hot-key");
+  EXPECT_FALSE(second.result.status.ok());
+  EXPECT_FALSE(second.rerouted);
+  EXPECT_EQ(cluster.Snapshot().submit_sheds, 1u);
+  sim.Run();
+}
+
+// ---- Cross-replica prefix sharing (src/store) ---------------------------
+
+// Opens (or creates) the named file and appends `grow` tokens to it.
+LipProgram PrefixUser(const std::string& path, int grow) {
+  return [path, grow](LipContext& ctx) -> Task {
+    StatusOr<KvHandle> kv = ctx.kv_open(path, /*write=*/true);
+    if (!kv.ok()) {
+      kv = ctx.kv_create(path, kModeShared);
+    }
+    if (!kv.ok()) {
+      co_return;
+    }
+    for (int i = 0; i < grow; ++i) {
+      auto d = co_await ctx.pred1(*kv, static_cast<TokenId>(3 + i % 5));
+      if (!d.ok()) {
+        co_return;
+      }
+      ctx.emit(".");
+    }
+    co_return;
+  };
+}
+
+// A read-only consumer: bumps the file's open count without writing.
+LipProgram Toucher(const std::string& path) {
+  return [path](LipContext& ctx) -> Task {
+    (void)ctx.kv_open(path);
+    co_return;
+  };
+}
+
+TEST(PrefixSharingTest, HotFilesWarmOtherReplicasThroughTheStore) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kCacheAffinity);
+  options.share_min_opens = 2;
+  options.share_min_tokens = 64;
+  SymphonyCluster cluster(&sim, options);
+  // Two LIPs on replica 0 build and re-open a hot 100-token named prefix.
+  size_t home = cluster.RouteFor("doc");
+  cluster.Launch("writer", "doc", PrefixUser("/shared/doc", 100));
+  sim.RunUntil(Millis(400));
+  cluster.Launch("reader", "doc", Toucher("/shared/doc"));
+  sim.RunUntil(Millis(800));
+  ASSERT_TRUE(cluster.replica(home).kvfs().Exists("/shared/doc"));
+  size_t other = 1 - home;
+  ASSERT_FALSE(cluster.replica(other).kvfs().Exists("/shared/doc"));
+
+  size_t warmed = cluster.SharePrefixes();
+  EXPECT_EQ(warmed, 1u);
+  sim.Run();  // Let the deferred import land after its transfer time.
+  EXPECT_TRUE(cluster.replica(other).kvfs().Exists("/shared/doc"));
+  // The imported copy is byte-identical and lands on the host tier.
+  KvFileInfo info = *cluster.replica(other).kvfs().StatPath("/shared/doc");
+  EXPECT_EQ(info.length, 100u);
+  EXPECT_EQ(info.gpu_pages, 0u);  // Imports land on the host tier.
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.prefix_publishes, 1u);
+  EXPECT_EQ(snap.warm_imports, 1u);
+  EXPECT_EQ(snap.warm_import_tokens, 100u);
+  EXPECT_GT(snap.store.fetched_bytes, 0u);
+
+  // A second pass at the same length is a no-op (already published+warm).
+  EXPECT_EQ(cluster.SharePrefixes(), 0u);
+  EXPECT_EQ(cluster.Snapshot().prefix_publishes, 1u);
+}
+
+TEST(PrefixSharingTest, ColdOrShortFilesAreNotShared) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kCacheAffinity);
+  options.share_min_opens = 2;
+  options.share_min_tokens = 64;
+  SymphonyCluster cluster(&sim, options);
+  // Opened twice but too short; long enough but opened once.
+  cluster.Launch("short", "a", PrefixUser("/shared/short", 10));
+  cluster.Launch("short2", "a", Toucher("/shared/short"));
+  cluster.Launch("cold", "b", PrefixUser("/shared/cold", 100));
+  sim.Run();
+  EXPECT_EQ(cluster.SharePrefixes(), 0u);
+  EXPECT_EQ(cluster.Snapshot().prefix_publishes, 0u);
 }
 
 }  // namespace

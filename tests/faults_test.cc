@@ -363,6 +363,92 @@ TEST(FaultReplayTest, KillUnderInjectedFaultsReplaysBitIdentical) {
   }
 }
 
+// ---- KV corruption windows (src/store) ----------------------------------
+
+TEST(KvCorruptionTest, DrawsAreDeterministicPerSeedChunkAndAttempt) {
+  auto corrupt = [](uint64_t seed, uint64_t chunk, uint32_t attempt) {
+    FaultPlan plan(seed);
+    plan.AddKvCorruption(/*at=*/0, /*duration=*/Millis(10), /*prob=*/1.0);
+    std::string bytes(256, 'z');
+    EXPECT_TRUE(plan.OnKvTransfer(Millis(5), chunk, attempt, &bytes));
+    return bytes;
+  };
+  // Same identity -> same corrupted bytes (replay-invariant injection).
+  EXPECT_EQ(corrupt(9, 111, 1), corrupt(9, 111, 1));
+  // A retry (new attempt) and a different chunk re-draw independently.
+  EXPECT_NE(corrupt(9, 111, 1), corrupt(9, 111, 2));
+  EXPECT_NE(corrupt(9, 111, 1), corrupt(9, 222, 1));
+  EXPECT_NE(corrupt(10, 111, 1), corrupt(9, 111, 1));
+}
+
+TEST(KvCorruptionTest, WindowIsTimeBoundedAndProbabilityGated) {
+  FaultPlan plan(3);
+  plan.AddKvCorruption(Millis(10), Millis(10), 1.0);
+  std::string bytes(64, 'q');
+  std::string original = bytes;
+  EXPECT_FALSE(plan.OnKvTransfer(Millis(5), 1, 1, &bytes));
+  EXPECT_EQ(bytes, original);  // Outside the window: untouched.
+  EXPECT_FALSE(plan.OnKvTransfer(Millis(25), 1, 1, &bytes));
+  EXPECT_EQ(bytes, original);
+  EXPECT_TRUE(plan.OnKvTransfer(Millis(15), 1, 1, &bytes));
+  EXPECT_NE(bytes, original);  // Inside: exactly one flipped bit.
+  size_t diff = 0;
+  for (size_t i = 0; i < bytes.size(); ++i) {
+    diff += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned char>(bytes[i] ^ original[i])));
+  }
+  EXPECT_EQ(diff, 1u);
+  EXPECT_EQ(plan.stats().kv_corruptions, 1u);
+  // prob 0 never corrupts even inside its window.
+  FaultPlan never(3);
+  never.AddKvCorruption(0, Millis(100), 0.0);
+  std::string intact(64, 'q');
+  EXPECT_FALSE(never.OnKvTransfer(Millis(50), 1, 1, &intact));
+  EXPECT_EQ(intact, original);
+}
+
+TEST(KvCorruptionTest, MigrationUnderCorruptionRetriesAndStaysBitIdentical) {
+  // A corruption window covering the failover: the checkpoint rehydrate's
+  // chunk transfers are corrupted (and detected — never served), the ship
+  // retries past the window, and the replayed LIP still produces the
+  // baseline output. This is the end-to-end "detected, never silently
+  // served" acceptance property.
+  auto run = [](std::optional<SimTime> kill_at, SimDuration window) {
+    FaultPlan plan(41);
+    if (kill_at.has_value()) {
+      plan.KillReplicaAt(0, *kill_at);
+      plan.AddKvCorruption(*kill_at, window, 1.0);
+    }
+    Simulator sim;
+    ClusterOptions options = FaultyClusterOptions(&plan, 19);
+    options.checkpoint_journals = true;
+    options.checkpoint_interval = 8;
+    SymphonyCluster cluster(&sim, options);
+    for (size_t i = 0; i < cluster.replica_count(); ++i) {
+      EXPECT_TRUE(cluster.replica(i)
+                      .tools()
+                      .Register(ToolRegistry::Echo("flaky", Millis(2)))
+                      .ok());
+    }
+    SymphonyCluster::ClusterLip id = cluster.Launch("agent", "", FaultAgent(4));
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(id));
+    return std::make_tuple(cluster.Output(id), cluster.Snapshot(), sim.now());
+  };
+  auto [baseline, baseline_snap, baseline_finish] = run(std::nullopt, 0);
+  ASSERT_FALSE(baseline.empty());
+  ASSERT_GT(baseline_snap.checkpoints, 0u);
+  auto [killed, snap, killed_finish] = run(baseline_finish / 2, Millis(6));
+  EXPECT_EQ(killed, baseline);
+  EXPECT_EQ(snap.failovers, 1u);
+  // Every corrupted transfer was caught by its checksum and retried; the
+  // rehydrate kept backing off until the window closed.
+  EXPECT_GT(snap.rehydrate_retries, 0u);
+  EXPECT_GT(snap.store.corrupt_chunks_detected, 0u);
+  EXPECT_GT(snap.store.corrupt_fetch_failures, 0u);
+  EXPECT_EQ(snap.replay_divergences, 0u);
+}
+
 // ---- Per-LIP deadlines --------------------------------------------------
 
 // Generates forever (until a syscall fails), emitting one '.' per pred.

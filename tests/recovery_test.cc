@@ -7,13 +7,17 @@
 // all recovery modes.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <optional>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/hash.h"
 #include "src/common/rng.h"
 #include "src/recovery/replayer.h"
 #include "src/serve/cluster.h"
+#include "src/store/journal_checkpoint.h"
 
 namespace symphony {
 namespace {
@@ -373,6 +377,175 @@ TEST(RecoveryTest, ImportBeatsRecomputeForLargeContexts) {
 }
 
 // ---- Journal bookkeeping ----------------------------------------------
+
+// ---- Checkpoint truncation + delta migration (src/store) ---------------
+
+// Mirrors property_test.cc's stress-scalable seed lists: curated base seeds
+// by default, widened with derived seeds when SYMPHONY_STRESS is set.
+std::vector<uint64_t> StressSeeds(std::vector<uint64_t> base, uint64_t stream) {
+  const char* stress = std::getenv("SYMPHONY_STRESS");
+  if (stress == nullptr || *stress == '\0' ||
+      std::string_view(stress) == "0") {
+    return base;
+  }
+  uint64_t extra = 64;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(stress, &end, 10);
+  if (end != stress && *end == '\0' && parsed > 1) {
+    extra = parsed;
+  }
+  for (uint64_t i = 0; i < extra; ++i) {
+    base.push_back(Mix64((stream << 32) ^ (i + 1)));
+  }
+  return base;
+}
+
+constexpr uint64_t kCheckpointInterval = 8;
+
+ClusterOptions CheckpointCluster(uint64_t seed, bool delta) {
+  ClusterOptions options = RecoveryCluster(seed, RecoveryMode::kAuto);
+  options.checkpoint_journals = true;
+  options.checkpoint_interval = kCheckpointInterval;
+  options.delta_migration = delta;
+  return options;
+}
+
+struct CheckpointRun {
+  std::string output;
+  SimTime finish = 0;
+  SymphonyCluster::ClusterSnapshot snap;
+  uint64_t max_live_seen = 0;   // Peak live entries a mid-run probe saw.
+  size_t store_snapshots = 0;   // Snapshots still referenced at the end.
+};
+
+// Runs one checkpointed agent, probing its journal's resident entry count
+// every 500us; optionally kills its replica mid-run.
+CheckpointRun RunCheckpointedAgent(uint64_t seed, bool delta,
+                                   std::optional<double> kill_frac,
+                                   SimTime baseline_finish) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, CheckpointCluster(seed, delta));
+  RegisterTools(cluster);
+  SymphonyCluster::ClusterLip id = cluster.Launch("agent", "", MakeAgent(4));
+  CheckpointRun run;
+  bool killed = false;
+  std::function<void()> probe = [&] {
+    if (cluster.Done(id)) {
+      return;
+    }
+    SymphonyCluster::ClusterLip where = cluster.Locate(id);
+    if (!cluster.replica_dead(where.replica)) {
+      std::shared_ptr<SyscallJournal> journal =
+          cluster.replica(where.replica).runtime().Journal(where.lip);
+      // Skip the transient rehydrated state right after a failover replay:
+      // the first post-replay append folds it back under the bound.
+      if (journal != nullptr && !killed) {
+        run.max_live_seen = std::max(run.max_live_seen,
+                                     journal->live_entries());
+      }
+    }
+    sim.ScheduleAfter(Micros(500), probe);
+  };
+  sim.ScheduleAfter(Micros(500), probe);
+  if (kill_frac.has_value()) {
+    SimTime kill_at =
+        static_cast<SimTime>(*kill_frac * static_cast<double>(baseline_finish));
+    sim.ScheduleAt(kill_at, [&cluster, &killed, id] {
+      killed = true;
+      (void)cluster.KillReplica(id.replica);
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(cluster.Done(id));
+  run.output = cluster.Output(id);
+  run.finish = sim.now();
+  run.snap = cluster.Snapshot();
+  run.store_snapshots = cluster.store().snapshot_count();
+  EXPECT_EQ(run.snap.replay_divergences, 0u);
+  return run;
+}
+
+class CheckpointPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The satellite property: with truncation on, the journal's resident entry
+// count stays bounded (<= 2x the checkpoint interval) for the whole run, and
+// replay after a random-time kill is still bit-identical — the truncated
+// prefix comes back from the store, not from luck.
+TEST_P(CheckpointPropertyTest, TruncationBoundsJournalAndKillStaysBitIdentical) {
+  uint64_t seed = GetParam();
+  RunResult plain = RunAgent(seed, RecoveryMode::kAuto, std::nullopt, 0);
+  ASSERT_FALSE(plain.output.empty());
+
+  // Checkpointing must not perturb execution: same output, journal bounded.
+  CheckpointRun baseline =
+      RunCheckpointedAgent(seed, /*delta=*/true, std::nullopt, 0);
+  EXPECT_EQ(baseline.output, plain.output);
+  EXPECT_GT(baseline.snap.checkpoints, 0u);
+  EXPECT_GT(baseline.snap.checkpoint_entries_folded, 0u);
+  EXPECT_LE(baseline.max_live_seen, 2 * kCheckpointInterval);
+  // Completed LIPs release their checkpoints: nothing leaks in the store.
+  EXPECT_EQ(baseline.store_snapshots, 0u);
+
+  // Kill at a seed-derived random time: replay from (checkpoint + suffix).
+  Rng kill_rng(seed ^ 0xC0FFEEULL);
+  double frac = 0.05 + 0.85 * kill_rng.NextDouble();
+  CheckpointRun after_kill =
+      RunCheckpointedAgent(seed, /*delta=*/true, frac, plain.finish);
+  EXPECT_EQ(after_kill.output, plain.output) << "seed=" << seed
+                                             << " kill_frac=" << frac;
+  EXPECT_EQ(after_kill.snap.failovers, 1u);
+  EXPECT_EQ(after_kill.store_snapshots, 0u);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CheckpointPropertyTest,
+                         ::testing::ValuesIn(StressSeeds(
+                             {201, 202, 203, 204, 205, 206}, 0xC4)));
+
+TEST(RecoveryTest, DeltaMigrationShipsFewerBytesThanFullReplay) {
+  uint64_t seed = 77;
+  RunResult plain = RunAgent(seed, RecoveryMode::kAuto, std::nullopt, 0);
+  ASSERT_FALSE(plain.output.empty());
+  CheckpointRun delta =
+      RunCheckpointedAgent(seed, /*delta=*/true, 0.7, plain.finish);
+  CheckpointRun full =
+      RunCheckpointedAgent(seed, /*delta=*/false, 0.7, plain.finish);
+  // Same recovery, either way.
+  EXPECT_EQ(delta.output, plain.output);
+  EXPECT_EQ(full.output, plain.output);
+  // The delta run shipped only the live suffix; the full run re-shipped the
+  // whole rehydrated log.
+  EXPECT_EQ(delta.snap.delta_ships, 1u);
+  EXPECT_EQ(delta.snap.full_ships, 0u);
+  EXPECT_EQ(full.snap.delta_ships, 0u);
+  EXPECT_EQ(full.snap.full_ships, 1u);
+  EXPECT_LT(delta.snap.ship_bytes, full.snap.ship_bytes);
+}
+
+TEST(RecoveryTest, ReplayRejectsTruncatedJournalUntilRehydrated) {
+  // A journal with a truncated prefix must be rejected by replay — silently
+  // replaying only the live suffix would diverge.
+  Simulator sim;
+  ServerOptions options;
+  options.model = ModelConfig::Tiny();
+  SymphonyServer server(&sim, options);
+  LipProgram idle = [](LipContext& ctx) -> Task {
+    co_await ctx.sleep(Millis(1));
+    co_return;
+  };
+  LipId lip = server.runtime().Launch("idle", idle);
+  auto journal = std::make_shared<SyscallJournal>();
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kSleep;
+  entry.duration = Millis(1);
+  journal->Append("0", entry);
+  journal->FoldPrefix(/*key=*/123);
+  server.runtime().EnableJournal(lip, journal);
+  ModelConfig config = ModelConfig::Tiny();
+  Status began =
+      server.runtime().BeginReplay(lip, RecoveryMode::kRecompute, &config);
+  EXPECT_EQ(began.code(), StatusCode::kFailedPrecondition);
+  sim.Run();
+}
 
 TEST(RecoveryTest, JournalRecordsSyscallsPerThreadPath) {
   Simulator sim;

@@ -1,0 +1,388 @@
+// Tests for src/store: content addressing, chunk dedup, reference counting,
+// local-vs-remote fetch accounting, corruption detection, the journal codec,
+// and checkpoint fold / rehydrate round trips.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/faults/fault_plan.h"
+#include "src/model/cost_model.h"
+#include "src/model/model_config.h"
+#include "src/recovery/journal.h"
+#include "src/sim/event_queue.h"
+#include "src/store/journal_checkpoint.h"
+#include "src/store/snapshot_store.h"
+
+namespace symphony {
+namespace {
+
+std::string Bytes(size_t n, char fill) { return std::string(n, fill); }
+
+// Distinct bytes per position (seeded) so fixed-size chunks don't all
+// collapse into one content address.
+std::string VariedBytes(size_t n, uint64_t seed) {
+  std::string out(n, '\0');
+  uint64_t x = seed * 0x9e3779b97f4a7c15ULL + 1;
+  for (size_t i = 0; i < n; ++i) {
+    x = x * 6364136223846793005ULL + 1442695040888963407ULL;
+    out[i] = static_cast<char>(x >> 56);
+  }
+  return out;
+}
+
+SnapshotPayload Payload(const std::string& label, uint64_t fingerprint,
+                        uint64_t tokens, std::string stream) {
+  SnapshotPayload payload;
+  payload.label = label;
+  payload.model_fingerprint = fingerprint;
+  payload.tokens = tokens;
+  payload.streams.emplace_back("records", std::move(stream));
+  return payload;
+}
+
+// ---- Content addressing -------------------------------------------------
+
+TEST(SnapshotStoreTest, IdenticalPayloadsCollideIntoOneSnapshot) {
+  SnapshotStore store;
+  PublishResult a = store.Publish(0, Payload("a", 7, 100, Bytes(10000, 'x')));
+  PublishResult b = store.Publish(1, Payload("b", 7, 100, Bytes(10000, 'x')));
+  EXPECT_EQ(a.key, b.key);
+  EXPECT_FALSE(a.deduped);
+  EXPECT_TRUE(b.deduped);
+  EXPECT_EQ(store.snapshot_count(), 1u);
+  EXPECT_EQ(b.new_bytes, 0u);
+  EXPECT_EQ(store.stats().publish_dedup_hits, 1u);
+  // The label is metadata, not identity — but the model fingerprint is: the
+  // same bytes under a different model must NOT collide.
+  PublishResult c = store.Publish(0, Payload("a", 8, 100, Bytes(10000, 'x')));
+  EXPECT_NE(c.key, a.key);
+  EXPECT_EQ(store.snapshot_count(), 2u);
+}
+
+TEST(SnapshotStoreTest, ChunkKeyChangesWhenAnyByteChanges) {
+  std::string bytes = Bytes(4096, 'q');
+  uint64_t key = SnapshotChunkKey(bytes);
+  for (size_t i : {size_t{0}, bytes.size() / 2, bytes.size() - 1}) {
+    std::string corrupt = bytes;
+    corrupt[i] = static_cast<char>(corrupt[i] ^ 0x20);
+    EXPECT_NE(SnapshotChunkKey(corrupt), key) << "flipped byte " << i;
+  }
+  // Length is part of the address: a truncated chunk can't keep it either.
+  EXPECT_NE(SnapshotChunkKey(std::string(bytes, 0, 4095)), key);
+}
+
+// ---- Structural dedup across growing streams ----------------------------
+
+TEST(SnapshotStoreTest, GrowingStreamRepublishesOnlyTailChunks) {
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 1024;
+  SnapshotStore store(options);
+  std::string generation1 = VariedBytes(8 * 1024, 7);
+  PublishResult first = store.Publish(0, Payload("ckpt", 1, 64, generation1));
+  EXPECT_EQ(first.new_bytes, generation1.size());
+  // Generation 2 extends generation 1 by two chunks.
+  std::string generation2 = generation1 + VariedBytes(2 * 1024, 8);
+  PublishResult second = store.Publish(0, Payload("ckpt", 1, 80, generation2));
+  EXPECT_NE(second.key, first.key);
+  EXPECT_EQ(second.new_bytes, 2 * 1024u);
+  EXPECT_EQ(second.deduped_bytes, generation1.size());
+  // Dropping the first generation must not strand the shared prefix chunks.
+  ASSERT_TRUE(store.Release(first.key).ok());
+  StatusOr<FetchResult> fetch = store.Fetch(0, second.key);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->streams[0].second, generation2);
+}
+
+// ---- Reference counting -------------------------------------------------
+
+TEST(SnapshotStoreTest, RefcountDropsSnapshotAndUnsharedChunksAtZero) {
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 1024;
+  SnapshotStore store(options);
+  PublishResult a = store.Publish(0, Payload("a", 1, 10, Bytes(4096, 'a')));
+  PublishResult b =
+      store.Publish(0, Payload("b", 1, 20, Bytes(4096, 'a') + Bytes(1024, 'b')));
+  ASSERT_TRUE(store.Acquire(a.key).ok());  // a: 2 refs.
+  ASSERT_TRUE(store.Release(a.key).ok());
+  EXPECT_TRUE(store.Contains(a.key));      // 1 ref left.
+  ASSERT_TRUE(store.Release(a.key).ok());
+  EXPECT_FALSE(store.Contains(a.key));
+  // b still resolves: the chunks it shared with a survived a's drop.
+  StatusOr<FetchResult> fetch = store.Fetch(0, b.key);
+  ASSERT_TRUE(fetch.ok());
+  EXPECT_EQ(fetch->streams[0].second, Bytes(4096, 'a') + Bytes(1024, 'b'));
+  ASSERT_TRUE(store.Release(b.key).ok());
+  EXPECT_EQ(store.snapshot_count(), 0u);
+  EXPECT_EQ(store.chunk_count(), 0u);
+  EXPECT_EQ(store.stored_bytes(), 0u);
+  EXPECT_FALSE(store.Release(b.key).ok());  // Double release is an error.
+}
+
+// ---- Local vs. remote fetch accounting ----------------------------------
+
+TEST(SnapshotStoreTest, FetchMovesBytesOnlyForChunksTheReplicaLacks) {
+  CostModel cost(ModelConfig::Tiny());
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 1024;
+  options.cost = &cost;
+  SnapshotStore store(options);
+  std::string data = VariedBytes(5 * 1024, 13);
+  PublishResult pub = store.Publish(0, Payload("p", 1, 40, data));
+  // The publisher holds every chunk: a local fetch moves nothing.
+  StatusOr<FetchResult> local = store.Fetch(0, pub.key);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->bytes_fetched, 0u);
+  EXPECT_EQ(local->transfer_time, 0);
+  EXPECT_EQ(local->chunk_hits, 5u);
+  // Replica 1 has nothing cached: everything moves, and interconnect time is
+  // charged for exactly those bytes.
+  StatusOr<FetchResult> remote = store.Fetch(1, pub.key);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->bytes_fetched, data.size());
+  EXPECT_EQ(remote->transfer_time, cost.NetworkTime(data.size()));
+  EXPECT_EQ(remote->streams[0].second, data);
+  // The fetch warmed replica 1's cache: a second fetch is free.
+  StatusOr<FetchResult> again = store.Fetch(1, pub.key);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->bytes_fetched, 0u);
+  EXPECT_EQ(store.stats().fetched_bytes, data.size());
+  EXPECT_GT(store.stats().local_hit_bytes, 0u);
+}
+
+// ---- Corruption detection -----------------------------------------------
+
+TEST(SnapshotStoreTest, CorruptedTransfersAreDetectedNeverServed) {
+  Simulator sim;
+  FaultPlan plan(99);
+  plan.AddKvCorruption(/*at=*/0, /*duration=*/Millis(100), /*prob=*/1.0);
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 1024;
+  options.sim = &sim;
+  options.fault_plan = &plan;
+  SnapshotStore store(options);
+  std::string data = Bytes(4 * 1024, 'c');
+  PublishResult pub = store.Publish(0, Payload("c", 1, 30, data));
+  // Local fetch never transfers, so the window can't touch it.
+  ASSERT_TRUE(store.Fetch(0, pub.key).ok());
+  // Remote fetch inside the window: every transfer (and every retry)
+  // corrupts, so the fetch must FAIL — corrupt bytes must never come back.
+  StatusOr<FetchResult> remote = store.Fetch(1, pub.key);
+  ASSERT_FALSE(remote.ok());
+  EXPECT_EQ(remote.status().code(), StatusCode::kUnavailable);
+  EXPECT_GT(store.stats().corrupt_chunks_detected, 0u);
+  EXPECT_EQ(store.stats().corrupt_fetch_failures, 1u);
+  EXPECT_GT(plan.stats().kv_corruptions, 0u);
+  // Past the window the same fetch succeeds byte-identically.
+  sim.ScheduleAt(Millis(200), [&] {
+    StatusOr<FetchResult> after = store.Fetch(1, pub.key);
+    ASSERT_TRUE(after.ok());
+    EXPECT_EQ(after->streams[0].second, data);
+  });
+  sim.Run();
+}
+
+// ---- Journal codec ------------------------------------------------------
+
+std::vector<JournalEntry> SampleEntries() {
+  std::vector<JournalEntry> entries;
+  JournalEntry pred;
+  pred.kind = JournalEntry::Kind::kPred;
+  pred.tokens = {3, 7, 11};
+  pred.positions = {0, 1, 2};
+  pred.states = {0xAAULL, 0xBBULL, 0xCCULL};
+  entries.push_back(pred);
+  JournalEntry tool;
+  tool.kind = JournalEntry::Kind::kTool;
+  tool.status = UnavailableError("tool down");
+  tool.payload = "partial-output";
+  entries.push_back(tool);
+  JournalEntry sleep;
+  sleep.kind = JournalEntry::Kind::kSleep;
+  sleep.duration = Millis(7);
+  entries.push_back(sleep);
+  JournalEntry recv;
+  recv.kind = JournalEntry::Kind::kRecv;
+  recv.payload = std::string("msg\0with-nul", 12);
+  entries.push_back(recv);
+  return entries;
+}
+
+void ExpectEntriesEqual(const std::vector<JournalEntry>& got,
+                        const std::vector<JournalEntry>& want) {
+  ASSERT_EQ(got.size(), want.size());
+  for (size_t i = 0; i < want.size(); ++i) {
+    EXPECT_EQ(got[i].kind, want[i].kind) << i;
+    EXPECT_EQ(got[i].status.code(), want[i].status.code()) << i;
+    EXPECT_EQ(got[i].status.message(), want[i].status.message()) << i;
+    EXPECT_EQ(got[i].tokens, want[i].tokens) << i;
+    EXPECT_EQ(got[i].positions, want[i].positions) << i;
+    EXPECT_EQ(got[i].states, want[i].states) << i;
+    EXPECT_EQ(got[i].payload, want[i].payload) << i;
+    EXPECT_EQ(got[i].duration, want[i].duration) << i;
+  }
+}
+
+TEST(JournalCodecTest, EntriesRoundTrip) {
+  std::vector<JournalEntry> entries = SampleEntries();
+  std::string bytes = SerializeJournalEntries(entries);
+  StatusOr<std::vector<JournalEntry>> parsed = ParseJournalEntries(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ExpectEntriesEqual(*parsed, entries);
+  // Truncated input must fail cleanly, not misparse.
+  EXPECT_FALSE(ParseJournalEntries(bytes.substr(0, bytes.size() - 3)).ok());
+}
+
+TEST(JournalCodecTest, SerializationIsPrefixStable) {
+  // The dedup contract: serializing [0, n) then [0, m), m > n, yields
+  // byte-identical prefixes, so checkpoint generations share chunks.
+  std::vector<JournalEntry> entries = SampleEntries();
+  std::vector<JournalEntry> shorter(entries.begin(), entries.end() - 1);
+  std::string full = SerializeJournalEntries(entries);
+  std::string prefix = SerializeJournalEntries(shorter);
+  ASSERT_LT(prefix.size(), full.size());
+  EXPECT_EQ(full.substr(0, prefix.size()), prefix);
+}
+
+TEST(JournalCodecTest, TokenRecordsRoundTrip) {
+  std::vector<TokenRecord> records;
+  for (uint32_t i = 0; i < 33; ++i) {
+    records.push_back(TokenRecord{static_cast<TokenId>(i * 3),
+                                  static_cast<int32_t>(i), 0x1000ULL + i});
+  }
+  std::string bytes = SerializeTokenRecords(records);
+  StatusOr<std::vector<TokenRecord>> parsed = ParseTokenRecords(bytes);
+  ASSERT_TRUE(parsed.ok());
+  ASSERT_EQ(parsed->size(), records.size());
+  for (size_t i = 0; i < records.size(); ++i) {
+    EXPECT_EQ((*parsed)[i].token, records[i].token);
+    EXPECT_EQ((*parsed)[i].position, records[i].position);
+    EXPECT_EQ((*parsed)[i].state, records[i].state);
+  }
+  EXPECT_FALSE(ParseTokenRecords(bytes.substr(0, bytes.size() - 1)).ok());
+}
+
+// ---- Checkpoint fold / rehydrate ----------------------------------------
+
+JournalEntry PredEntry(uint32_t n) {
+  JournalEntry entry;
+  entry.kind = JournalEntry::Kind::kPred;
+  entry.tokens = {static_cast<TokenId>(n)};
+  entry.positions = {static_cast<int32_t>(n)};
+  entry.states = {0x5000ULL + n};
+  return entry;
+}
+
+TEST(JournalCheckpointTest, FoldThenRehydrateRestoresTheFullLog) {
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 256;
+  SnapshotStore store(options);
+  SyscallJournal journal;
+  journal.name = "agent";
+  for (uint32_t i = 0; i < 20; ++i) {
+    journal.Append(i % 2 == 0 ? "0" : "0.1", PredEntry(i));
+  }
+  std::string before = SerializeJournalEntries(
+      [&] {
+        std::vector<JournalEntry> all;
+        for (uint32_t i = 0; i < 20; ++i) {
+          all.push_back(*journal.At(i % 2 == 0 ? "0" : "0.1", i / 2));
+        }
+        return all;
+      }());
+
+  StatusOr<CheckpointOutcome> fold = CheckpointJournal(store, 0, 42, journal);
+  ASSERT_TRUE(fold.ok());
+  EXPECT_EQ(fold->folded_entries, 20u);
+  EXPECT_EQ(journal.live_entries(), 0u);
+  EXPECT_EQ(journal.folded_entries(), 20u);
+  EXPECT_EQ(journal.checkpoint_key(), fold->key);
+  EXPECT_TRUE(store.Contains(fold->key));
+  // Logical indexing survives truncation.
+  EXPECT_EQ(journal.total_entries(), 20u);
+  EXPECT_EQ(journal.EntryCount("0"), 10u);
+  EXPECT_EQ(journal.At("0", 3), nullptr);
+  EXPECT_TRUE(journal.FoldedAt("0", 3));
+  EXPECT_FALSE(journal.FoldedAt("0", 10));
+
+  // Entries appended after the fold live alongside the truncated prefix.
+  journal.Append("0", PredEntry(100));
+  EXPECT_EQ(journal.live_entries(), 1u);
+
+  // Rehydrate at another replica: the prefix comes back and indices resolve.
+  StatusOr<RehydrateOutcome> wet = RehydrateJournal(store, 1, journal);
+  ASSERT_TRUE(wet.ok());
+  EXPECT_EQ(wet->entries_restored, 20u);
+  EXPECT_GT(wet->bytes_fetched, 0u);
+  EXPECT_EQ(journal.folded_entries(), 0u);
+  EXPECT_EQ(journal.live_entries(), 21u);
+  for (uint32_t i = 0; i < 20; ++i) {
+    const JournalEntry* entry = journal.At(i % 2 == 0 ? "0" : "0.1", i / 2);
+    ASSERT_NE(entry, nullptr) << i;
+    EXPECT_EQ(entry->tokens[0], static_cast<TokenId>(i)) << i;
+  }
+  EXPECT_EQ(journal.At("0", 10)->tokens[0], 100);
+  // The checkpoint reference is kept for dedup on the next fold.
+  EXPECT_EQ(journal.checkpoint_key(), fold->key);
+
+  // Next fold supersedes: the old checkpoint's ref moves to the new key, and
+  // prefix-stable serialization makes the second generation mostly dedup.
+  StatusOr<CheckpointOutcome> fold2 = CheckpointJournal(store, 0, 42, journal);
+  ASSERT_TRUE(fold2.ok());
+  EXPECT_NE(fold2->key, fold->key);
+  EXPECT_FALSE(store.Contains(fold->key));
+  EXPECT_LT(fold2->new_bytes, before.size());
+  EXPECT_EQ(journal.checkpoint_key(), fold2->key);
+}
+
+TEST(JournalCheckpointTest, FoldFailureLeavesTheJournalUntouched) {
+  Simulator sim;
+  FaultPlan plan(5);
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 128;
+  options.sim = &sim;
+  options.fault_plan = &plan;
+  SnapshotStore store(options);
+  SyscallJournal journal;
+  for (uint32_t i = 0; i < 8; ++i) {
+    journal.Append("0", PredEntry(i));
+  }
+  ASSERT_TRUE(CheckpointJournal(store, 0, 1, journal).ok());
+  for (uint32_t i = 8; i < 12; ++i) {
+    journal.Append("0", PredEntry(i));
+  }
+  // A permanent corruption window: the second fold must re-read the first
+  // checkpoint at replica 1 (no local chunks), which fails — and the journal
+  // must be exactly as fat as before the attempt.
+  plan.AddKvCorruption(0, Millis(1000), 1.0);
+  uint64_t live_before = journal.live_entries();
+  uint64_t key_before = journal.checkpoint_key();
+  StatusOr<CheckpointOutcome> fold = CheckpointJournal(store, 1, 1, journal);
+  EXPECT_FALSE(fold.ok());
+  EXPECT_EQ(journal.live_entries(), live_before);
+  EXPECT_EQ(journal.folded_entries(), 8u);
+  EXPECT_EQ(journal.checkpoint_key(), key_before);
+}
+
+TEST(JournalCheckpointTest, FoldHookTriggersAtIntervalAndBoundsLiveEntries) {
+  SnapshotStore store;
+  SyscallJournal journal;
+  uint64_t folds = 0;
+  journal.set_fold_hook(
+      [&store, &folds](SyscallJournal& j) {
+        ASSERT_TRUE(CheckpointJournal(store, 0, 9, j).ok());
+        ++folds;
+      },
+      /*interval=*/4);
+  for (uint32_t i = 0; i < 23; ++i) {
+    journal.Append("0", PredEntry(i));
+    EXPECT_LE(journal.live_entries(), 4u);
+  }
+  EXPECT_EQ(folds, 5u);
+  EXPECT_EQ(journal.total_entries(), 23u);
+  EXPECT_EQ(journal.live_entries(), 3u);
+}
+
+}  // namespace
+}  // namespace symphony
