@@ -1,0 +1,246 @@
+// IPC fabric benchmark (src/net).
+//
+// Part 1 (ping-pong): two LIPs bounce a message back and forth over a pair
+// of named channels, either co-located on one replica (every delivery is
+// local) or split across replicas (every delivery crosses a simulated link).
+// Reports round-trip latency, message throughput, and the fabric's
+// local-vs-cross counters.
+//
+// Part 2 (split-pair migration stall): a producer streams messages at a
+// fixed cadence to a consumer on another replica; mid-stream the consumer is
+// migrated (or its replica killed) and the stream must re-route to its new
+// home. The consumer stamps every arrival, so the report shows the longest
+// inter-arrival gap (the stall the fault inserted), the completion delta
+// versus the fault-free run, and whether the received sequence stayed
+// bit-identical.
+//
+// Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
+#include <algorithm>
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "src/serve/cluster.h"
+
+namespace symphony {
+namespace {
+
+// ---- Part 1: ping-pong -------------------------------------------------
+
+LipProgram Pinger(int rounds, std::vector<SimDuration>* rtts) {
+  return [rounds, rtts](LipContext& ctx) -> Task {
+    for (int i = 0; i < rounds; ++i) {
+      SimTime start = ctx.now();
+      ctx.send("ping", "p" + std::to_string(i));
+      StatusOr<std::string> reply = co_await ctx.recv("pong");
+      if (!reply.ok()) {
+        co_return;
+      }
+      rtts->push_back(ctx.now() - start);
+    }
+    co_return;
+  };
+}
+
+LipProgram Ponger(int rounds) {
+  return [rounds](LipContext& ctx) -> Task {
+    for (int i = 0; i < rounds; ++i) {
+      StatusOr<std::string> msg = co_await ctx.recv("ping");
+      if (!msg.ok()) {
+        co_return;
+      }
+      ctx.send("pong", *msg + ":ack");
+    }
+    co_return;
+  };
+}
+
+struct PingPongRun {
+  double mean_rtt_us = 0.0;
+  double msgs_per_s = 0.0;
+  uint64_t local_deliveries = 0;
+  uint64_t cross_sends = 0;
+};
+
+PingPongRun RunPingPong(bool colocated, int rounds) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = colocated ? RoutingPolicy::kCacheAffinity
+                              : RoutingPolicy::kRoundRobin;
+  SymphonyCluster cluster(&sim, options);
+  std::vector<SimDuration> rtts;
+  // Ponger first: its recv registers both ends before the first ping.
+  cluster.Launch("ponger", "pair", Ponger(rounds));
+  cluster.Launch("pinger", "pair", Pinger(rounds, &rtts));
+  sim.Run();
+  PingPongRun run;
+  SimDuration total = 0;
+  for (SimDuration rtt : rtts) {
+    total += rtt;
+  }
+  if (!rtts.empty()) {
+    run.mean_rtt_us = ToSeconds(total) / static_cast<double>(rtts.size()) * 1e6;
+  }
+  double elapsed_s = ToSeconds(sim.now());
+  if (elapsed_s > 0.0) {
+    run.msgs_per_s = 2.0 * static_cast<double>(rtts.size()) / elapsed_s;
+  }
+  run.local_deliveries = cluster.fabric().stats().local_deliveries;
+  run.cross_sends = cluster.fabric().stats().cross_sends;
+  return run;
+}
+
+void PingPongSweep() {
+  constexpr int kRounds = 64;
+  BenchTable table({"placement", "mean_rtt_us", "msgs_per_s", "local",
+                    "cross"});
+  for (bool colocated : {true, false}) {
+    PingPongRun run = RunPingPong(colocated, kRounds);
+    const char* placement = colocated ? "intra-replica" : "cross-replica";
+    table.AddRow({placement, Fmt(run.mean_rtt_us), Fmt(run.msgs_per_s, 0),
+                  std::to_string(run.local_deliveries),
+                  std::to_string(run.cross_sends)});
+    std::printf(
+        "JSON {\"bench\":\"ipc\",\"part\":\"pingpong\",\"placement\":\"%s\","
+        "\"rounds\":%d,\"mean_rtt_us\":%.3f,\"msgs_per_s\":%.0f,"
+        "\"local_deliveries\":%llu,\"cross_sends\":%llu}\n",
+        placement, kRounds, run.mean_rtt_us, run.msgs_per_s,
+        static_cast<unsigned long long>(run.local_deliveries),
+        static_cast<unsigned long long>(run.cross_sends));
+  }
+  table.Print("channel ping-pong: intra- vs cross-replica (Llama13B links)");
+}
+
+// ---- Part 2: split-pair migration stall --------------------------------
+
+constexpr int kStreamMsgs = 40;
+constexpr SimDuration kStreamGap = Micros(500);
+
+LipProgram StreamProducer() {
+  return [](LipContext& ctx) -> Task {
+    for (int i = 0; i < kStreamMsgs; ++i) {
+      ctx.send("stream", "s" + std::to_string(i));
+      co_await ctx.sleep(kStreamGap);
+    }
+    co_return;
+  };
+}
+
+// Stamps each message index first-write-wins: a replayed incarnation re-runs
+// the loop, but its journal-served recvs must not overwrite the original
+// live delivery times — only genuinely new (post-fault) arrivals stamp.
+LipProgram StreamConsumer(std::vector<SimTime>* arrivals) {
+  return [arrivals](LipContext& ctx) -> Task {
+    for (int i = 0; i < kStreamMsgs; ++i) {
+      StatusOr<std::string> msg = co_await ctx.recv("stream");
+      if (!msg.ok()) {
+        co_return;
+      }
+      if ((*arrivals)[i] == 0) {
+        (*arrivals)[i] = ctx.now();
+      }
+      ctx.emit(*msg + ";");
+    }
+    co_return;
+  };
+}
+
+enum class StreamFault { kNone, kMigrateConsumer, kKillConsumerReplica };
+
+struct StreamRun {
+  double finish_s = 0.0;
+  double max_gap_us = 0.0;
+  uint64_t forwarded = 0;
+  uint64_t rehomes = 0;
+  std::string log;
+};
+
+StreamRun RunStream(StreamFault fault, SimTime at) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 3;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.enable_recovery = true;
+  SymphonyCluster cluster(&sim, options);
+  std::vector<SimTime> arrivals(kStreamMsgs, 0);
+  StreamRun run;
+  SymphonyCluster::ClusterLip cons =
+      cluster.Launch("consumer", "", StreamConsumer(&arrivals));
+  cluster.Launch("producer", "", StreamProducer());
+  if (fault != StreamFault::kNone) {
+    sim.ScheduleAt(at, [&cluster, cons, fault] {
+      SymphonyCluster::ClusterLip where = cluster.Locate(cons);
+      if (fault == StreamFault::kMigrateConsumer) {
+        (void)cluster.Migrate(where, 2);  // The idle third replica.
+      } else {
+        (void)cluster.KillReplica(where.replica);
+      }
+    });
+  }
+  sim.Run();
+  run.finish_s = ToSeconds(sim.now());
+  run.log = cluster.Output(cons);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] == 0 || arrivals[i - 1] == 0) {
+      continue;
+    }
+    run.max_gap_us = std::max(
+        run.max_gap_us, ToSeconds(arrivals[i] - arrivals[i - 1]) * 1e6);
+  }
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  run.forwarded = snap.ipc_forwarded;
+  run.rehomes = snap.ipc_rehomes;
+  return run;
+}
+
+void MigrationStallSweep() {
+  StreamRun baseline = RunStream(StreamFault::kNone, 0);
+  BenchTable table({"fault", "max_gap_us", "stall_vs_clean_us",
+                    "completion_delta_ms", "forwarded", "rehomes",
+                    "bit_identical"});
+  struct Case {
+    const char* name;
+    StreamFault fault;
+  };
+  constexpr Case kCases[] = {
+      {"none", StreamFault::kNone},
+      {"migrate-consumer", StreamFault::kMigrateConsumer},
+      {"kill-consumer-replica", StreamFault::kKillConsumerReplica},
+  };
+  SimTime mid = DurationFromSeconds(baseline.finish_s / 2.0);
+  for (const Case& c : kCases) {
+    StreamRun run = RunStream(c.fault, mid);
+    double stall_us = run.max_gap_us - baseline.max_gap_us;
+    double delta_ms = (run.finish_s - baseline.finish_s) * 1e3;
+    bool identical = run.log == baseline.log;
+    table.AddRow({c.name, Fmt(run.max_gap_us), Fmt(stall_us),
+                  Fmt(delta_ms), std::to_string(run.forwarded),
+                  std::to_string(run.rehomes), identical ? "yes" : "NO"});
+    std::printf(
+        "JSON {\"bench\":\"ipc\",\"part\":\"migration_stall\","
+        "\"fault\":\"%s\",\"max_gap_us\":%.3f,\"stall_vs_clean_us\":%.3f,"
+        "\"completion_delta_ms\":%.3f,\"forwarded\":%llu,\"rehomes\":%llu,"
+        "\"bit_identical\":%s}\n",
+        c.name, run.max_gap_us, stall_us, delta_ms,
+        static_cast<unsigned long long>(run.forwarded),
+        static_cast<unsigned long long>(run.rehomes),
+        identical ? "true" : "false");
+  }
+  std::printf("\nstream: %d msgs at %.0fus cadence, fault at t=%.3fms\n",
+              kStreamMsgs, ToSeconds(kStreamGap) * 1e6,
+              ToSeconds(mid) * 1e3);
+  table.Print("split-pair stream: migration/kill stall (Llama13B links)");
+}
+
+}  // namespace
+}  // namespace symphony
+
+int main() {
+  std::printf("bench_ipc: cluster IPC fabric latency, throughput, stalls\n");
+  symphony::PingPongSweep();
+  symphony::MigrationStallSweep();
+  return 0;
+}

@@ -64,6 +64,25 @@ bool FaultPlan::OnKvTransfer(SimTime now, uint64_t chunk_key, uint32_t attempt,
   return false;
 }
 
+bool FaultPlan::Partitioned(size_t from, size_t to, SimTime now) const {
+  for (const PartitionSpec& spec : partitions_) {
+    bool pair = (spec.a == from && spec.b == to) ||
+                (spec.a == to && spec.b == from);
+    if (pair && now >= spec.at && now < spec.at + spec.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
+bool FaultPlan::OnIpcTransmit(size_t from, size_t to, SimTime now) {
+  if (!Partitioned(from, to, now)) {
+    return false;
+  }
+  ++stats_.partition_blocks;
+  return true;
+}
+
 void FaultPlan::ArmKvPressure(Simulator* sim, Kvfs* kvfs) {
   for (const KvPressureSpec& spec : pressure_) {
     sim->ScheduleAt(spec.at, [this, sim, kvfs, spec] {

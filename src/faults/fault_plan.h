@@ -22,6 +22,12 @@
 //   * Replica kills    — a schedule of KillReplica times; SymphonyCluster
 //                        arms these at construction when the plan is set in
 //                        ServerOptions::fault_plan.
+//   * Partitions       — windows during which the interconnect between one
+//                        replica pair drops traffic (symmetric). The IPC
+//                        fabric (src/net) consults OnIpcTransmit per transfer
+//                        attempt: blocked sends queue and retry with
+//                        exponential backoff, surfacing kUnavailable only
+//                        past the per-channel send deadline.
 //
 // Replay invariance: tool fault decisions are keyed by (tool, args hash,
 // the calling LIP's tool-call ordinal, attempt number) rather than a global
@@ -82,11 +88,21 @@ struct KvCorruptionSpec {
   double prob = 1.0;
 };
 
+// A symmetric network partition between replicas `a` and `b` during
+// [at, at + duration): every IPC transfer attempt between them is blocked.
+struct PartitionSpec {
+  size_t a = 0;
+  size_t b = 0;
+  SimTime at = 0;
+  SimDuration duration = 0;
+};
+
 struct FaultPlanStats {
   uint64_t tool_faults = 0;         // Injected failures (transient + outage).
   uint64_t tool_tail_stretches = 0; // Latency-tail injections.
   uint64_t pressure_windows = 0;    // KV pressure windows actually opened.
   uint64_t kv_corruptions = 0;      // Chunk transfers corrupted in flight.
+  uint64_t partition_blocks = 0;    // IPC transfer attempts blocked.
 };
 
 class FaultPlan {
@@ -111,6 +127,10 @@ class FaultPlan {
     corruption_.push_back(KvCorruptionSpec{at, duration, prob});
   }
 
+  void AddPartition(size_t a, size_t b, SimTime at, SimDuration duration) {
+    partitions_.push_back(PartitionSpec{a, b, at, duration});
+  }
+
   // ---- Consultation (serving layer) ------------------------------------
 
   // Decision for one attempt of one logical tool call. `call_ordinal` is the
@@ -133,6 +153,16 @@ class FaultPlan {
   bool OnKvTransfer(SimTime now, uint64_t chunk_key, uint32_t attempt,
                     std::string* bytes);
 
+  // One IPC transfer attempt between replicas `from` and `to` (IPC fabric,
+  // src/net): true when a partition window blocks it. Pure time check —
+  // deterministic per definition, so retried attempts re-consult it and a
+  // replayed run sees the identical windows.
+  bool OnIpcTransmit(size_t from, size_t to, SimTime now);
+
+  // True when a partition window covers the (from, to) pair at `now`,
+  // without counting a blocked attempt.
+  bool Partitioned(size_t from, size_t to, SimTime now) const;
+
   const std::vector<std::pair<size_t, SimTime>>& replica_kills() const {
     return kills_;
   }
@@ -145,6 +175,7 @@ class FaultPlan {
   std::vector<std::pair<size_t, SimTime>> kills_;
   std::vector<KvPressureSpec> pressure_;
   std::vector<KvCorruptionSpec> corruption_;
+  std::vector<PartitionSpec> partitions_;
   FaultPlanStats stats_;
 };
 

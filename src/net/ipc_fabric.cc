@@ -1,0 +1,393 @@
+#include "src/net/ipc_fabric.h"
+
+#include <algorithm>
+#include <cassert>
+
+#include "src/common/hash.h"
+#include "src/common/logging.h"
+#include "src/common/rng.h"
+
+namespace symphony {
+
+IpcFabric::IpcFabric(Simulator* sim, const CostModel* cost, FaultPlan* faults,
+                     TraceRecorder* trace, IpcFabricOptions options)
+    : sim_(sim),
+      cost_(cost),
+      faults_(faults),
+      trace_(trace),
+      options_(options) {
+  assert(sim != nullptr);
+  assert(cost != nullptr);
+}
+
+void IpcFabric::AttachReplica(size_t index, LipRuntime* runtime) {
+  if (index >= runtimes_.size()) {
+    runtimes_.resize(index + 1, nullptr);
+    dead_.resize(index + 1, false);
+    replica_stats_.resize(index + 1);
+  }
+  runtimes_[index] = runtime;
+}
+
+void IpcFabric::MarkReplicaDead(size_t index) {
+  if (index < dead_.size()) {
+    dead_[index] = true;
+  }
+  DropReplicaWaiters(index);
+}
+
+Link& IpcFabric::LinkFor(size_t from, size_t to) {
+  auto key = std::make_pair(from, to);
+  auto it = links_.find(key);
+  if (it == links_.end()) {
+    it = links_
+             .emplace(key, std::make_unique<Link>(
+                               sim_, cost_, trace_,
+                               "link:replica" + std::to_string(from) +
+                                   "->replica" + std::to_string(to)))
+             .first;
+  }
+  return *it->second;
+}
+
+IpcFabric::Message* IpcFabric::FindMessage(ChannelState& ch, uint64_t msg_id) {
+  for (Message& msg : ch.queue) {
+    if (msg.id == msg_id) {
+      return &msg;
+    }
+  }
+  return nullptr;
+}
+
+void IpcFabric::Send(size_t replica, LipId sender, const std::string& channel,
+                     std::string message) {
+  (void)sender;  // Channel identity is receiver-side; senders stay anonymous.
+  ChannelState& ch = channels_[channel];
+  ++replica_stats_[replica].sent;
+  Message msg;
+  msg.id = ch.next_send_id++;
+  msg.origin = replica;
+  msg.at = replica;
+  msg.bytes = std::move(message);
+  ch.queue.push_back(std::move(msg));
+  // An unregistered channel parks the message at its origin; the first recv
+  // homes the channel and routes everything queued.
+  if (ch.registered) {
+    RouteMessage(channel, ch, ch.queue.back());
+    Drain(channel, ch);
+  }
+}
+
+bool IpcFabric::TryRecv(size_t replica, LipId receiver,
+                        const std::string& channel, std::string* message,
+                        uint64_t* ordinal) {
+  ChannelState& ch = channels_[channel];
+  Register(channel, ch, replica, receiver);
+  // FIFO fairness: a fresh receiver never overtakes parked waiters.
+  if (!ch.waiters.empty()) {
+    return false;
+  }
+  if (ch.queue.empty() || !ch.queue.front().available) {
+    return false;
+  }
+  Message msg = std::move(ch.queue.front());
+  ch.queue.pop_front();
+  *message = std::move(msg.bytes);
+  *ordinal = ch.next_recv_ordinal++;
+  ++replica_stats_[replica].received;
+  if (msg.origin == replica) {
+    ++stats_.local_deliveries;
+  }
+  return true;
+}
+
+void IpcFabric::AddWaiter(size_t replica, LipId receiver,
+                          const std::string& channel, ThreadId waiter,
+                          std::string* slot, uint64_t resume_ordinal) {
+  ChannelState& ch = channels_[channel];
+  Register(channel, ch, replica, receiver);
+  // A replayed thread's first re-park carries the ordinal it was waiting for
+  // when its endpoint died. Replay fast-forwards threads in dispatch order,
+  // not original park order, so slot it back by ordinal among its own LIP's
+  // hinted waiters (live waiters — ordinal 0 — are never overtaken).
+  auto pos = ch.waiters.end();
+  while (resume_ordinal > 0 && pos != ch.waiters.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->replica != replica || prev->lip != receiver ||
+        prev->resume_ordinal <= resume_ordinal) {
+      break;
+    }
+    pos = prev;
+  }
+  ch.waiters.insert(pos, Waiter{replica, receiver, waiter, slot,
+                                resume_ordinal});
+  Drain(channel, ch);
+}
+
+void IpcFabric::DropWaiters(size_t replica, LipId lip) {
+  for (auto& [name, ch] : channels_) {
+    std::deque<Waiter> kept;
+    for (const Waiter& w : ch.waiters) {
+      if (w.replica == replica && w.lip == lip) {
+        continue;
+      }
+      kept.push_back(w);
+    }
+    ch.waiters = std::move(kept);
+  }
+}
+
+void IpcFabric::DropReplicaWaiters(size_t replica) {
+  for (auto& [name, ch] : channels_) {
+    std::deque<Waiter> kept;
+    for (const Waiter& w : ch.waiters) {
+      if (w.replica == replica) {
+        continue;
+      }
+      kept.push_back(w);
+    }
+    ch.waiters = std::move(kept);
+  }
+}
+
+void IpcFabric::Register(const std::string& name, ChannelState& ch,
+                         size_t replica, LipId lip) {
+  if (ch.registered && ch.home == replica && ch.receiver == lip) {
+    return;
+  }
+  bool rehome = ch.registered;
+  ch.registered = true;
+  ch.home = replica;
+  ch.receiver = lip;
+  if (rehome) {
+    ++stats_.rehomes;
+    if (trace_ != nullptr) {
+      trace_->Instant("net", "rehome:" + name, sim_->now());
+    }
+  }
+  // Re-route queued messages toward the (new) home. Ids first: a routed
+  // message can be dropped (partition deadline), which erases from queue.
+  std::vector<uint64_t> ids;
+  for (const Message& msg : ch.queue) {
+    if (!msg.in_flight) {
+      ids.push_back(msg.id);
+    }
+  }
+  for (uint64_t id : ids) {
+    Message* msg = FindMessage(ch, id);
+    if (msg == nullptr) {
+      continue;
+    }
+    if (msg->at == replica) {
+      msg->available = true;
+      continue;
+    }
+    msg->available = false;
+    if (rehome) {
+      ++replica_stats_[msg->at].forwarded;
+    }
+    BeginTransfer(name, id);
+  }
+}
+
+void IpcFabric::RehomeEndpoint(size_t old_replica, LipId old_lip,
+                               size_t new_replica, LipId new_lip) {
+  for (auto& [name, ch] : channels_) {
+    if (!ch.registered || ch.home != old_replica || ch.receiver != old_lip) {
+      continue;
+    }
+    ch.home = new_replica;
+    ch.receiver = new_lip;
+    ++stats_.rehomes;
+    if (trace_ != nullptr) {
+      trace_->Instant("net",
+                      "rehome:" + name + ":replica" +
+                          std::to_string(old_replica) + "->replica" +
+                          std::to_string(new_replica),
+                      sim_->now());
+    }
+    std::vector<uint64_t> ids;
+    for (const Message& msg : ch.queue) {
+      if (!msg.in_flight) {
+        ids.push_back(msg.id);
+      }
+    }
+    for (uint64_t id : ids) {
+      Message* msg = FindMessage(ch, id);
+      if (msg == nullptr) {
+        continue;
+      }
+      if (msg->at == new_replica) {
+        msg->available = true;
+        continue;
+      }
+      msg->available = false;
+      ++replica_stats_[msg->at].forwarded;
+      BeginTransfer(name, id);
+    }
+    // In-flight messages arrive at the old home and forward from there
+    // (Arrive sees the home mismatch).
+    Drain(name, ch);
+  }
+}
+
+void IpcFabric::RouteMessage(const std::string& name, ChannelState& ch,
+                             Message& msg) {
+  if (msg.at == ch.home) {
+    msg.available = true;
+    return;
+  }
+  BeginTransfer(name, msg.id);
+}
+
+SimDuration IpcFabric::RetryDelay(const std::string& name,
+                                  const Message& msg) const {
+  SimDuration base = options_.retry_base;
+  for (uint32_t i = 1; i < msg.attempt && base < options_.retry_cap; ++i) {
+    base *= 2;
+  }
+  base = std::min(base, options_.retry_cap);
+  // One decision stream per (seed, channel, message, attempt) — the FaultPlan
+  // keying discipline, so a replayed run re-draws identical backoffs.
+  Rng rng(Mix64(options_.seed ^ Fnv1a(name)) ^
+          Mix64(msg.id * 0x9e3779b97f4a7c15ULL + msg.attempt));
+  double jitter =
+      1.0 + options_.retry_jitter * (2.0 * rng.NextDouble() - 1.0);
+  SimDuration delay =
+      static_cast<SimDuration>(static_cast<double>(base) * jitter);
+  return std::max<SimDuration>(delay, 1);
+}
+
+void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
+  ChannelState& ch = channels_[name];
+  Message* msg = FindMessage(ch, msg_id);
+  if (msg == nullptr || msg->available || msg->in_flight || !ch.registered) {
+    return;
+  }
+  size_t from = msg->at;
+  size_t to = ch.home;
+  if (from == to) {
+    msg->available = true;
+    Drain(name, ch);
+    return;
+  }
+  SimTime now = sim_->now();
+  if (faults_ != nullptr && faults_->OnIpcTransmit(from, to, now)) {
+    ++stats_.partition_retries;
+    if (msg->first_blocked < 0) {
+      msg->first_blocked = now;
+    }
+    if (now - msg->first_blocked > options_.send_deadline) {
+      DropMessage(name, ch, msg_id);
+      return;
+    }
+    ++msg->attempt;
+    msg->in_flight = true;  // The retry event owns the message until it fires.
+    sim_->ScheduleAfter(RetryDelay(name, *msg), [this, name, msg_id] {
+      ChannelState& chan = channels_[name];
+      Message* m = FindMessage(chan, msg_id);
+      if (m == nullptr) {
+        return;
+      }
+      m->in_flight = false;
+      if (m->available) {
+        return;  // A rehome brought the home to the message meanwhile.
+      }
+      BeginTransfer(name, msg_id);
+    });
+    return;
+  }
+  msg->first_blocked = -1;
+  msg->attempt = 0;
+  ++stats_.cross_sends;
+  SimTime arrival = LinkFor(from, to).Transmit(msg->bytes.size(), name);
+  msg->in_flight = true;
+  sim_->ScheduleAt(arrival,
+                   [this, name, msg_id, to] { Arrive(name, msg_id, to); });
+}
+
+void IpcFabric::Arrive(const std::string& name, uint64_t msg_id, size_t at) {
+  ChannelState& ch = channels_[name];
+  Message* msg = FindMessage(ch, msg_id);
+  if (msg == nullptr) {
+    return;
+  }
+  msg->in_flight = false;
+  msg->at = at;
+  if (!ch.registered) {
+    return;
+  }
+  if (at == ch.home) {
+    msg->available = true;
+    Drain(name, ch);
+    return;
+  }
+  // The endpoint moved while the bytes were on the wire: forward.
+  ++replica_stats_[at].forwarded;
+  BeginTransfer(name, msg_id);
+}
+
+void IpcFabric::Drain(const std::string& name, ChannelState& ch) {
+  while (!ch.queue.empty() && ch.queue.front().available &&
+         !ch.waiters.empty()) {
+    Waiter waiter = ch.waiters.front();
+    ch.waiters.pop_front();
+    LipRuntime* runtime =
+        waiter.replica < runtimes_.size() ? runtimes_[waiter.replica] : nullptr;
+    if (runtime == nullptr) {
+      continue;  // Unattached replica: discard the stale waiter.
+    }
+    Message& head = ch.queue.front();
+    if (!runtime->DeliverToWaiter(waiter.thread, waiter.slot, name,
+                                  ch.next_recv_ordinal, head.bytes)) {
+      continue;  // Dead waiter: keep the message for the next one.
+    }
+    ++ch.next_recv_ordinal;
+    ++replica_stats_[waiter.replica].received;
+    if (head.origin == waiter.replica) {
+      ++stats_.local_deliveries;
+    }
+    ch.queue.pop_front();
+  }
+}
+
+void IpcFabric::DropMessage(const std::string& name, ChannelState& ch,
+                            uint64_t msg_id) {
+  for (auto it = ch.queue.begin(); it != ch.queue.end(); ++it) {
+    if (it->id != msg_id) {
+      continue;
+    }
+    ++ch.dropped;
+    ++replica_stats_[it->at].dropped;
+    ch.last_error = UnavailableError("ipc message on '" + name +
+                                     "' dropped: partitioned past the send "
+                                     "deadline");
+    SYMPHONY_LOG(kDebug) << "ipc drop on '" << name << "' (message "
+                         << msg_id << ")";
+    if (trace_ != nullptr) {
+      trace_->Instant("net", "drop:" + name, sim_->now());
+    }
+    ch.queue.erase(it);
+    break;
+  }
+  Drain(name, ch);  // The next head may already be available.
+}
+
+ChannelView IpcFabric::View(const std::string& channel) const {
+  ChannelView view;
+  auto it = channels_.find(channel);
+  if (it == channels_.end()) {
+    return view;
+  }
+  const ChannelState& ch = it->second;
+  view.registered = ch.registered;
+  view.home = ch.home;
+  view.receiver = ch.receiver;
+  view.queued = ch.queue.size();
+  view.waiters = ch.waiters.size();
+  view.dropped = ch.dropped;
+  view.last_error = ch.last_error;
+  return view;
+}
+
+}  // namespace symphony

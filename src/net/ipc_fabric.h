@@ -1,0 +1,205 @@
+// IpcFabric: cluster-wide named channels (the paper's server-side IPC made
+// multi-replica).
+//
+// The fabric is the cluster's channel router and registry. A channel's HOME
+// is the (replica, LIP) endpoint that receives on it, registered on first
+// recv and re-registered when the receiver moves (every live recv re-homes;
+// SymphonyCluster additionally calls RehomeEndpoint when it replays an
+// endpoint elsewhere, so messages already in flight are forwarded). Sends
+// from any replica are accepted immediately — fire-and-forget, matching
+// LipContext::send — and the message traverses a simulated Link (cost-model
+// bandwidth/latency, "net" trace spans) when the home is remote. The fabric,
+// not any one replica's runtime, owns every queue: messages survive replica
+// death and are forwarded to a replayed endpoint's new home, which is what
+// lets KillReplica/Migrate move ONE half of a communicating pair.
+//
+// Delivery is journaled by the receiving runtime at the recv syscall
+// boundary (per-channel receive ordinals, JournalEntry::kRecv) and sends are
+// journaled as JournalEntry::kSend; replay serves recvs verbatim and
+// suppresses re-sends (see journal.h). The fabric itself is never rewound —
+// a replayed endpoint simply stops consuming it until its journal runs dry.
+//
+// FIFO contract (property-tested): per channel, messages deliver in
+// send-acceptance order (head-blocking — a queued later message never
+// overtakes a head still in flight or retrying through a partition), and
+// blocked receivers are served strictly first-come-first-served; a TryRecv
+// never overtakes parked waiters. The contract survives replay: a replayed
+// thread re-parks with its journal-recorded resume ordinal, which slots it
+// back into the exact queue position it held among its LIP's waiters when
+// the endpoint died — so multi-waiter fan-in stays bit-identical too.
+//
+// Partitions (src/faults): a transfer attempt blocked by a FaultPlan
+// partition window retries with exponential backoff (deterministically
+// jittered per (seed, channel, message, attempt)) and the message is dropped
+// — kUnavailable recorded on the channel, visible via View()/stats, never
+// thrown at the sender — only once it has been stuck past send_deadline.
+#ifndef SRC_NET_IPC_FABRIC_H_
+#define SRC_NET_IPC_FABRIC_H_
+
+#include <cstdint>
+#include <deque>
+#include <map>
+#include <memory>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "src/common/status.h"
+#include "src/faults/fault_plan.h"
+#include "src/model/cost_model.h"
+#include "src/net/link.h"
+#include "src/runtime/runtime.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace symphony {
+
+struct IpcFabricOptions {
+  // How long a message may stay stuck behind a partition before it is
+  // dropped (per message, measured from its first blocked attempt).
+  SimDuration send_deadline = Millis(250);
+  // Exponential backoff for blocked transfers: base * 2^(attempt-1), capped.
+  SimDuration retry_base = Millis(1);
+  SimDuration retry_cap = Millis(32);
+  // Deterministic jitter: each retry delay is stretched by a factor drawn
+  // uniformly from [1 - retry_jitter, 1 + retry_jitter].
+  double retry_jitter = 0.2;
+  uint64_t seed = 0x1Bc;
+};
+
+struct IpcReplicaStats {
+  uint64_t sent = 0;       // Messages accepted from senders on this replica.
+  uint64_t received = 0;   // Messages delivered to receivers on this replica.
+  uint64_t forwarded = 0;  // Transfers re-kicked off this replica (rehoming).
+  uint64_t dropped = 0;    // Messages dropped here (partition past deadline).
+};
+
+struct IpcFabricStats {
+  uint64_t local_deliveries = 0;   // Origin and home on the same replica.
+  uint64_t cross_sends = 0;        // Link transfers started.
+  uint64_t partition_retries = 0;  // Transfer attempts blocked by a partition.
+  uint64_t rehomes = 0;            // Channel endpoint re-registrations.
+};
+
+// Introspection snapshot of one channel (tests, bench reports).
+struct ChannelView {
+  bool registered = false;  // A receiver has homed the channel.
+  size_t home = 0;
+  LipId receiver = kNoLip;
+  size_t queued = 0;   // Undelivered messages (any replica, incl. in flight).
+  size_t waiters = 0;  // Parked receivers.
+  uint64_t dropped = 0;
+  Status last_error;   // kUnavailable after a partition-deadline drop.
+};
+
+class IpcFabric : public ChannelFabric {
+ public:
+  IpcFabric(Simulator* sim, const CostModel* cost, FaultPlan* faults,
+            TraceRecorder* trace, IpcFabricOptions options = {});
+
+  // ---- Cluster wiring ---------------------------------------------------
+
+  // Registers replica `index`'s runtime (the fabric delivers into it and it
+  // must have set_channel_fabric(this, index)). Call once per replica.
+  void AttachReplica(size_t index, LipRuntime* runtime);
+
+  // Replica failure: its parked waiters are scrubbed. Messages located there
+  // stay queued — they are forwarded when their endpoint is rehomed.
+  void MarkReplicaDead(size_t index);
+
+  // Moves every channel homed at (old_replica, old_lip) to
+  // (new_replica, new_lip) and forwards its queued messages to the new home
+  // (the delta-migration retarget moment: SymphonyCluster::StartReplay).
+  void RehomeEndpoint(size_t old_replica, LipId old_lip, size_t new_replica,
+                      LipId new_lip);
+
+  // ---- ChannelFabric (called by LipRuntime) -----------------------------
+
+  void Send(size_t replica, LipId sender, const std::string& channel,
+            std::string message) override;
+  bool TryRecv(size_t replica, LipId receiver, const std::string& channel,
+               std::string* message, uint64_t* ordinal) override;
+  void AddWaiter(size_t replica, LipId receiver, const std::string& channel,
+                 ThreadId waiter, std::string* slot,
+                 uint64_t resume_ordinal) override;
+  void DropWaiters(size_t replica, LipId lip) override;
+  void DropReplicaWaiters(size_t replica) override;
+
+  // ---- Introspection ----------------------------------------------------
+
+  const IpcFabricStats& stats() const { return stats_; }
+  const IpcReplicaStats& replica_stats(size_t index) const {
+    return replica_stats_[index];
+  }
+  size_t replica_count() const { return runtimes_.size(); }
+  ChannelView View(const std::string& channel) const;
+  const std::map<std::pair<size_t, size_t>, std::unique_ptr<Link>>& links()
+      const {
+    return links_;
+  }
+
+ private:
+  struct Message {
+    uint64_t id = 0;         // Per-channel send-acceptance ordinal.
+    size_t origin = 0;       // Sender replica.
+    size_t at = 0;           // Replica the bytes currently sit on.
+    bool in_flight = false;  // A transfer or retry event is pending.
+    bool available = false;  // Arrived at the channel's current home.
+    SimTime first_blocked = -1;  // First partition-blocked attempt (-1: none).
+    uint32_t attempt = 0;        // Blocked-transfer retry count.
+    std::string bytes;
+  };
+  struct Waiter {
+    size_t replica = 0;
+    LipId lip = kNoLip;
+    ThreadId thread = 0;
+    std::string* slot = nullptr;
+    // Nonzero for a replayed thread's first re-park: the delivery ordinal it
+    // is waiting for, used to slot it back into its original queue position.
+    uint64_t resume_ordinal = 0;
+  };
+  struct ChannelState {
+    bool registered = false;
+    size_t home = 0;
+    LipId receiver = kNoLip;
+    std::deque<Message> queue;    // FIFO by send acceptance.
+    std::deque<Waiter> waiters;   // FIFO by arrival.
+    uint64_t next_send_id = 0;
+    uint64_t next_recv_ordinal = 0;
+    uint64_t dropped = 0;
+    Status last_error;
+  };
+
+  // Registers/re-homes the channel endpoint and re-routes queued messages.
+  void Register(const std::string& name, ChannelState& ch, size_t replica,
+                LipId lip);
+  // Routes one message toward the current home: marks it available (already
+  // there) or starts a link transfer / partition retry.
+  void RouteMessage(const std::string& name, ChannelState& ch, Message& msg);
+  void BeginTransfer(const std::string& name, uint64_t msg_id);
+  void Arrive(const std::string& name, uint64_t msg_id, size_t at);
+  // Delivers available head messages to parked waiters, FIFO both sides.
+  void Drain(const std::string& name, ChannelState& ch);
+  void DropMessage(const std::string& name, ChannelState& ch, uint64_t msg_id);
+  Link& LinkFor(size_t from, size_t to);
+  Message* FindMessage(ChannelState& ch, uint64_t msg_id);
+  SimDuration RetryDelay(const std::string& name, const Message& msg) const;
+
+  Simulator* sim_;
+  const CostModel* cost_;
+  FaultPlan* faults_;  // Optional.
+  TraceRecorder* trace_;  // Optional.
+  IpcFabricOptions options_;
+  std::vector<LipRuntime*> runtimes_;
+  std::vector<bool> dead_;
+  std::vector<IpcReplicaStats> replica_stats_;
+  // std::map: deterministic iteration order for RehomeEndpoint.
+  std::map<std::string, ChannelState> channels_;
+  std::map<std::pair<size_t, size_t>, std::unique_ptr<Link>> links_;
+  IpcFabricStats stats_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_NET_IPC_FABRIC_H_

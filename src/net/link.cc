@@ -1,0 +1,30 @@
+#include "src/net/link.h"
+
+#include <algorithm>
+#include <cassert>
+
+namespace symphony {
+
+Link::Link(Simulator* sim, const CostModel* cost, TraceRecorder* trace,
+           std::string name)
+    : sim_(sim), cost_(cost), trace_(trace), name_(std::move(name)) {
+  assert(sim != nullptr);
+  assert(cost != nullptr);
+}
+
+SimTime Link::Transmit(uint64_t bytes, const std::string& label) {
+  const HardwareConfig& hw = cost_->hardware();
+  SimTime now = sim_->now();
+  SimDuration serialize = DurationFromSeconds(
+      static_cast<double>(bytes) / hw.interconnect_bandwidth);
+  busy_until_ = std::max(now, busy_until_) + serialize;
+  SimTime arrival = busy_until_ + hw.interconnect_latency;
+  ++stats_.transfers;
+  stats_.bytes += bytes;
+  if (trace_ != nullptr) {
+    trace_->Span("net", name_ + ":" + label, now, arrival - now);
+  }
+  return arrival;
+}
+
+}  // namespace symphony

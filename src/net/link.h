@@ -1,0 +1,54 @@
+// A simulated point-to-point interconnect link between two replicas.
+//
+// Each directed replica pair gets one Link (the IPC fabric creates them
+// lazily). A transfer serializes on the link's bandwidth — back-to-back
+// messages queue behind each other the way packets do on a NIC — and then
+// pays the interconnect's propagation latency on top. Bandwidth and latency
+// come from the shared CostModel (HardwareConfig::interconnect_*), the same
+// budget journal shipping and snapshot transfers are charged against, so IPC
+// traffic and migration traffic are modeled as contending for one fabric.
+// Every transfer emits a span on the "net" trace track.
+#ifndef SRC_NET_LINK_H_
+#define SRC_NET_LINK_H_
+
+#include <cstdint>
+#include <string>
+
+#include "src/model/cost_model.h"
+#include "src/sim/event_queue.h"
+#include "src/sim/time.h"
+#include "src/sim/trace.h"
+
+namespace symphony {
+
+struct LinkStats {
+  uint64_t transfers = 0;
+  uint64_t bytes = 0;
+};
+
+class Link {
+ public:
+  // `cost` is required; `trace` is optional.
+  Link(Simulator* sim, const CostModel* cost, TraceRecorder* trace,
+       std::string name);
+
+  // Charges one transfer of `bytes` starting now and returns its absolute
+  // arrival time: serialization queues behind earlier transfers still on the
+  // wire, then the propagation latency applies.
+  SimTime Transmit(uint64_t bytes, const std::string& label);
+
+  const LinkStats& stats() const { return stats_; }
+  const std::string& name() const { return name_; }
+
+ private:
+  Simulator* sim_;
+  const CostModel* cost_;
+  TraceRecorder* trace_;
+  std::string name_;
+  SimTime busy_until_ = 0;
+  LinkStats stats_;
+};
+
+}  // namespace symphony
+
+#endif  // SRC_NET_LINK_H_

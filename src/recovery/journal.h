@@ -18,10 +18,22 @@
 //                KvFileSnapshot of every file the LIP wrote).
 //   * tools    — entry per completed call: status + output payload.
 //   * sleep    — entry per completed sleep; replay skips the wait.
-//   * IPC recv — entry per delivered message; replay re-executes IPC
-//                naturally (co-replayed LIPs re-send and re-receive through
-//                real channels) and uses the recorded payload only to detect
-//                divergence.
+//   * IPC recv — entry per delivered message (channel + per-channel receive
+//                ordinal + payload). Two disciplines, chosen by whether a
+//                cluster IPC fabric (src/net) is attached:
+//                  - standalone runtime: replay re-executes IPC naturally
+//                    (co-replayed LIPs re-send and re-receive through real
+//                    channels) and uses the recorded payload only to detect
+//                    divergence;
+//                  - cluster fabric: recv is served verbatim from the journal
+//                    (same discipline as tool results), so ONE endpoint of a
+//                    cross-replica pair can be killed and replayed while the
+//                    other keeps running live.
+//   * IPC send — fabric mode only: entry per send (channel + payload).
+//                Replay consumes and SUPPRESSES the send — the original
+//                message already reached (or is queued for) the peer, and
+//                re-sending would duplicate it. Standalone replay has no
+//                kSend entries and re-sends through real channels.
 //   * RNG      — replayed by reseeding: the journal stores the LIP's rng
 //                seed and the program re-draws the identical stream, so
 //                individual draws need no log entries.
@@ -92,7 +104,7 @@ inline const char* RecoveryModeName(RecoveryMode mode) {
 }
 
 struct JournalEntry {
-  enum class Kind : uint8_t { kPred, kTool, kSleep, kRecv };
+  enum class Kind : uint8_t { kPred, kTool, kSleep, kRecv, kSend };
   Kind kind = Kind::kPred;
   Status status;  // Completion status (pred and tool entries).
 
@@ -103,11 +115,17 @@ struct JournalEntry {
   std::vector<int32_t> positions;
   std::vector<uint64_t> states;
 
-  // kTool: output payload. kRecv: the delivered message.
+  // kTool: output payload. kRecv/kSend: the message.
   std::string payload;
 
   // kSleep: requested duration (alignment check only; replay skips it).
   SimDuration duration = 0;
+
+  // kRecv/kSend: the channel name; kRecv additionally records the channel's
+  // delivery ordinal at the time (observability — the fabric's counters are
+  // not rewound by replay, so the ordinal is never divergence-checked).
+  std::string channel;
+  uint64_t ordinal = 0;
 };
 
 // Per-LIP journal. Owned jointly by the serving layer (which keeps it across

@@ -339,7 +339,12 @@ bool LipRuntime::ReplayActive(LipId lip) const {
   return proc.replay != nullptr && !proc.replay->complete;
 }
 
-void LipRuntime::Halt() { halted_ = true; }
+void LipRuntime::Halt() {
+  halted_ = true;
+  if (fabric_ != nullptr) {
+    fabric_->DropReplicaWaiters(replica_index_);
+  }
+}
 
 Status LipRuntime::Detach(LipId lip) {
   auto pit = processes_.find(lip);
@@ -362,6 +367,9 @@ Status LipRuntime::Detach(LipId lip) {
   }
   // Drop the LIP's pending channel waits so a later send is not swallowed
   // by a dead consumer.
+  if (fabric_ != nullptr) {
+    fabric_->DropWaiters(replica_index_, lip);
+  }
   for (auto& entry : channels_) {
     Channel& ch = entry.second;
     std::deque<std::pair<ThreadId, std::string*>> kept;
@@ -436,6 +444,8 @@ void LipRuntime::ReplayDiverged(Process& proc, const char* what) {
 }
 
 void LipRuntime::JournalRecvDelivery(ThreadId thread,
+                                     const std::string& channel,
+                                     uint64_t ordinal,
                                      const std::string& message) {
   if (halted_) {
     return;
@@ -452,8 +462,10 @@ void LipRuntime::JournalRecvDelivery(ThreadId thread,
   if (proc.replay != nullptr && !proc.replay->complete) {
     const JournalEntry* entry = NextReplayEntry(proc, tcb);
     if (entry != nullptr) {
+      // The ordinal is deliberately not checked: it counts deliveries on the
+      // channel object, which a fresh runtime restarts at zero.
       if (entry->kind != JournalEntry::Kind::kRecv ||
-          entry->payload != message) {
+          entry->payload != message || entry->channel != channel) {
         ReplayDiverged(proc, "recv delivery disagrees with journal");
       } else {
         ConsumeReplayEntry(proc, tcb);
@@ -464,6 +476,8 @@ void LipRuntime::JournalRecvDelivery(ThreadId thread,
   JournalEntry entry;
   entry.kind = JournalEntry::Kind::kRecv;
   entry.payload = message;
+  entry.channel = channel;
+  entry.ordinal = ordinal;
   proc.journal->Append(tcb.path, std::move(entry));
 }
 
@@ -775,12 +789,44 @@ void LipRuntime::AddJoinAllWaiter(LipId lip, ThreadId waiter) {
 
 void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
   ++stats_.ipc_messages;
+  if (fabric_ != nullptr) {
+    LipId sender = kNoLip;
+    if (current_ != 0) {
+      Tcb& tcb = GetTcb(current_);
+      sender = tcb.lip;
+      Process& proc = GetProcess(tcb.lip);
+      if (proc.replay != nullptr && !proc.replay->complete) {
+        const JournalEntry* entry = NextReplayEntry(proc, tcb);
+        if (entry != nullptr) {
+          if (entry->kind == JournalEntry::Kind::kSend &&
+              entry->channel == channel && entry->payload == message) {
+            // The original send already reached (or is queued for) the peer;
+            // re-sending would duplicate it at a live endpoint.
+            ++stats_.ipc_sends_suppressed;
+            ConsumeReplayEntry(proc, tcb);
+            return;
+          }
+          ReplayDiverged(proc, "send disagrees with journal");
+          // Fall through live: the message is new as far as anyone knows.
+        }
+      }
+      if (proc.journal != nullptr) {
+        JournalEntry entry;
+        entry.kind = JournalEntry::Kind::kSend;
+        entry.channel = channel;
+        entry.payload = message;
+        proc.journal->Append(tcb.path, std::move(entry));
+      }
+    }
+    fabric_->Send(replica_index_, sender, channel, std::move(message));
+    return;
+  }
   Channel& ch = channels_[channel];
   if (!ch.waiters.empty()) {
     auto [waiter, slot] = ch.waiters.front();
     ch.waiters.pop_front();
     *slot = std::move(message);
-    JournalRecvDelivery(waiter, *slot);
+    JournalRecvDelivery(waiter, channel, ch.next_ordinal++, *slot);
     Ready(waiter);
     return;
   }
@@ -788,6 +834,47 @@ void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
 }
 
 bool LipRuntime::ChannelTryRecv(const std::string& channel, std::string* message) {
+  if (fabric_ != nullptr) {
+    LipId receiver = kNoLip;
+    if (current_ != 0) {
+      Tcb& tcb = GetTcb(current_);
+      receiver = tcb.lip;
+      Process& proc = GetProcess(tcb.lip);
+      if (proc.replay != nullptr && !proc.replay->complete) {
+        const JournalEntry* entry = NextReplayEntry(proc, tcb);
+        if (entry != nullptr) {
+          if (entry->kind == JournalEntry::Kind::kRecv &&
+              entry->channel == channel) {
+            // Serve the delivery verbatim — the fabric's copy was consumed
+            // by the original incarnation (tool-result discipline). Remember
+            // the ordinal: when this thread's journal runs dry mid-wait, the
+            // fabric uses it to re-park the thread in its original queue
+            // position among this LIP's other waiters.
+            *message = entry->payload;
+            tcb.replay_recv_resume[channel] = entry->ordinal + 1;
+            ++stats_.ipc_recvs_replayed;
+            ConsumeReplayEntry(proc, tcb);
+            return true;
+          }
+          // Per-thread logs are ordered, so the original run's next
+          // completed syscall was this recv; anything else is divergence.
+          // Fall through to a live receive afterwards.
+          ReplayDiverged(proc, "recv where journal has a different syscall");
+        }
+      }
+    }
+    uint64_t ordinal = 0;
+    if (!fabric_->TryRecv(replica_index_, receiver, channel, message,
+                          &ordinal)) {
+      return false;
+    }
+    if (current_ != 0) {
+      // Live delivery: any replay re-park hint is now stale.
+      GetTcb(current_).replay_recv_resume.erase(channel);
+      JournalRecvDelivery(current_, channel, ordinal, *message);
+    }
+    return true;
+  }
   auto it = channels_.find(channel);
   if (it == channels_.end() || it->second.messages.empty()) {
     return false;
@@ -795,14 +882,47 @@ bool LipRuntime::ChannelTryRecv(const std::string& channel, std::string* message
   *message = std::move(it->second.messages.front());
   it->second.messages.pop_front();
   if (current_ != 0) {
-    JournalRecvDelivery(current_, *message);
+    JournalRecvDelivery(current_, channel, it->second.next_ordinal++, *message);
   }
   return true;
 }
 
 void LipRuntime::ChannelAddWaiter(const std::string& channel, ThreadId waiter,
                                   std::string* slot) {
+  if (fabric_ != nullptr) {
+    LipId receiver = kNoLip;
+    uint64_t resume_ordinal = 0;
+    if (current_ != 0) {
+      Tcb& tcb = GetTcb(waiter);
+      receiver = tcb.lip;
+      auto hint = tcb.replay_recv_resume.find(channel);
+      if (hint != tcb.replay_recv_resume.end()) {
+        resume_ordinal = hint->second;  // One-shot: first re-park only.
+        tcb.replay_recv_resume.erase(hint);
+      }
+    }
+    fabric_->AddWaiter(replica_index_, receiver, channel, waiter, slot,
+                       resume_ordinal);
+    return;
+  }
   channels_[channel].waiters.emplace_back(waiter, slot);
+}
+
+bool LipRuntime::DeliverToWaiter(ThreadId thread, std::string* slot,
+                                 const std::string& channel, uint64_t ordinal,
+                                 const std::string& message) {
+  if (halted_) {
+    return false;
+  }
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.state == ThreadState::kKilled ||
+      it->second.state == ThreadState::kDone) {
+    return false;
+  }
+  *slot = message;
+  JournalRecvDelivery(thread, channel, ordinal, *slot);
+  Ready(thread);
+  return true;
 }
 
 void LipRuntime::Emit(LipId lip, std::string_view text) {

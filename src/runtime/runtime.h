@@ -34,6 +34,45 @@ namespace symphony {
 class LipContext;
 using LipProgram = std::function<Task(LipContext&)>;
 
+// Cluster IPC fabric interface (implemented by src/net's IpcFabric; the
+// runtime sees only this so the dependency arrow stays net -> runtime).
+// When attached, the runtime's channel syscalls delegate here and named
+// channels become cluster-wide: a channel's home is the replica+LIP that
+// receives on it, sends from other replicas traverse a simulated link, and
+// delivery is journaled at the receiving LIP's syscall boundary (per-channel
+// receive ordinals) so one endpoint of a pair can be killed and replayed
+// while the other keeps running live. Without a fabric the legacy in-runtime
+// channels (re-execution replay discipline) are used unchanged.
+class ChannelFabric {
+ public:
+  virtual ~ChannelFabric() = default;
+  // Accepts a message from `sender` on `replica`. Fire-and-forget: delivery
+  // failures (partition past the deadline) surface through channel state and
+  // counters, never to the sender.
+  virtual void Send(size_t replica, LipId sender, const std::string& channel,
+                    std::string message) = 0;
+  // Non-blocking receive by `receiver` on `replica`; registers (or re-homes)
+  // the channel's endpoint. On success fills `message` and the delivery
+  // `ordinal`.
+  virtual bool TryRecv(size_t replica, LipId receiver,
+                       const std::string& channel, std::string* message,
+                       uint64_t* ordinal) = 0;
+  // Blocks `waiter` (FIFO among waiters) until a message is delivered via
+  // LipRuntime::DeliverToWaiter. Registers the endpoint like TryRecv.
+  // `resume_ordinal` is 0 for a live wait; a replayed thread whose last
+  // journal-served recv on this channel had delivery ordinal k passes k+1,
+  // and the fabric slots it among its LIP's waiters in ordinal order — that
+  // reconstructs the original run's waiter queue, which is runtime state the
+  // journal does not otherwise capture (multi-waiter FIFO bit-identity).
+  virtual void AddWaiter(size_t replica, LipId receiver,
+                         const std::string& channel, ThreadId waiter,
+                         std::string* slot, uint64_t resume_ordinal) = 0;
+  // Scrubs pending waits of one detached LIP / a whole halted replica so a
+  // later send is not swallowed by a dead consumer.
+  virtual void DropWaiters(size_t replica, LipId lip) = 0;
+  virtual void DropReplicaWaiters(size_t replica) = 0;
+};
+
 enum class ThreadState : uint8_t {
   kReady,
   kRunning,
@@ -75,6 +114,10 @@ struct RuntimeStats {
   uint64_t preds_submitted = 0;
   uint64_t tools_invoked = 0;
   uint64_t ipc_messages = 0;
+  // Cluster IPC fabric (src/net): replay served recvs from the journal /
+  // suppressed re-sends whose original delivery already happened.
+  uint64_t ipc_recvs_replayed = 0;
+  uint64_t ipc_sends_suppressed = 0;
   // Recovery (src/recovery): syscalls answered from a journal during replay.
   uint64_t lips_replayed = 0;
   uint64_t preds_replayed = 0;
@@ -102,6 +145,16 @@ class LipRuntime {
   void set_tokenizer(const Tokenizer* tokenizer) { tokenizer_ = tokenizer; }
   // Optional tracing: one span per LIP lifetime on track "lips".
   void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  // Attaches the cluster IPC fabric (this runtime is replica
+  // `replica_index`); channel syscalls delegate to it from then on. The
+  // fabric must outlive the runtime. Without a fabric, channels stay local
+  // to this runtime (legacy behaviour, unchanged).
+  void set_channel_fabric(ChannelFabric* fabric, size_t replica_index) {
+    fabric_ = fabric;
+    replica_index_ = replica_index;
+  }
+  size_t replica_index() const { return replica_index_; }
 
   // Starts a new LIP. The program begins running in virtual time on the next
   // simulator dispatch. on_exit fires when the LIP's last thread finishes.
@@ -215,11 +268,21 @@ class LipRuntime {
   void AddJoiner(ThreadId target, ThreadId waiter);
   void AddJoinAllWaiter(LipId lip, ThreadId waiter);
 
-  // IPC channels (named, unbounded, FIFO).
+  // IPC channels (named, unbounded, FIFO). With a fabric attached these
+  // delegate cluster-wide (see ChannelFabric above); otherwise they are the
+  // legacy in-runtime channels.
   void ChannelSend(const std::string& channel, std::string message);
   bool ChannelTryRecv(const std::string& channel, std::string* message);
   void ChannelAddWaiter(const std::string& channel, ThreadId waiter,
                         std::string* slot);
+
+  // Fabric delivery into a blocked recv: writes `slot`, journals the
+  // delivery, and wakes the thread. Returns false — without consuming the
+  // message — when the runtime is halted or the thread is killed/done, so
+  // the fabric can keep the message queued for forwarding instead.
+  bool DeliverToWaiter(ThreadId thread, std::string* slot,
+                       const std::string& channel, uint64_t ordinal,
+                       const std::string& message);
 
   void Emit(LipId lip, std::string_view text);
   Rng& LipRng(LipId lip);
@@ -243,6 +306,10 @@ class LipRuntime {
     std::string path = "0";
     // Number of threads this thread has spawned (next child path suffix).
     uint32_t spawn_seq = 0;
+    // Per-channel re-park hint: ordinal after the last journal-served recv.
+    // Consumed by this thread's first live recv on the channel (see
+    // ChannelFabric::AddWaiter's resume_ordinal).
+    std::unordered_map<std::string, uint64_t> replay_recv_resume;
   };
 
   struct Process {
@@ -282,6 +349,8 @@ class LipRuntime {
   struct Channel {
     std::deque<std::string> messages;
     std::deque<std::pair<ThreadId, std::string*>> waiters;
+    // Per-channel delivery count (the kRecv ordinal in legacy mode).
+    uint64_t next_ordinal = 0;
   };
 
   void Resume(ThreadId thread);
@@ -303,9 +372,10 @@ class LipRuntime {
   void FinishReplay(Process& proc, bool diverged);
   void ReplayDiverged(Process& proc, const char* what);
   // Records a delivered IPC message (or checks it against the journal
-  // during replay). Called at both delivery points: direct handoff in
-  // ChannelSend and successful ChannelTryRecv.
-  void JournalRecvDelivery(ThreadId thread, const std::string& message);
+  // during replay). Called at every delivery point: direct handoff in
+  // legacy ChannelSend, successful ChannelTryRecv, and DeliverToWaiter.
+  void JournalRecvDelivery(ThreadId thread, const std::string& channel,
+                           uint64_t ordinal, const std::string& message);
   void JournalSleepDone(ThreadId thread, SimDuration duration);
 
   Simulator* sim_;
@@ -315,6 +385,8 @@ class LipRuntime {
   ToolService* tool_service_ = nullptr;
   const Tokenizer* tokenizer_ = nullptr;
   TraceRecorder* trace_ = nullptr;
+  ChannelFabric* fabric_ = nullptr;
+  size_t replica_index_ = 0;
 
   std::unordered_map<ThreadId, Tcb> threads_;
   std::unordered_map<LipId, Process> processes_;

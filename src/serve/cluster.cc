@@ -31,6 +31,13 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   store_options.fault_plan = options_.server.fault_plan;
   store_options.trace = options_.server.trace;
   store_ = std::make_unique<SnapshotStore>(store_options);
+  fabric_ = std::make_unique<IpcFabric>(
+      sim_, cost_model_.get(), options_.server.fault_plan,
+      options_.server.trace, options_.ipc);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    fabric_->AttachReplica(i, &replicas_[i]->runtime());
+    replicas_[i]->runtime().set_channel_fabric(fabric_.get(), i);
+  }
   // Arm the fault plan's replica-kill schedule. Kills route through the
   // normal KillReplica path, so with recovery enabled the victims fail over.
   if (options_.server.fault_plan != nullptr) {
@@ -364,9 +371,14 @@ void SymphonyCluster::StartReplay(uint64_t uid, size_t target,
     }
     target = LeastLoaded();
   }
+  // Capture the stale placement before overwriting: the fabric forwards any
+  // channel homed at the old incarnation to wherever the replay landed.
+  size_t old_replica = rec.replica;
+  LipId old_lip = rec.lip;
   ReplayOutcome outcome = Replayer::Replay(
       replicas_[target]->runtime(), *cost_model_, &options_.server.model,
       journal, rec.program, options_.recovery_mode, MakeOnExit(uid));
+  fabric_->RehomeEndpoint(old_replica, old_lip, target, outcome.lip);
   rec.replica = target;
   rec.lip = outcome.lip;
   rec.in_flight = false;
@@ -408,6 +420,7 @@ Status SymphonyCluster::KillReplica(size_t index) {
     }
   }
   runtime.Halt();
+  fabric_->MarkReplicaDead(index);
   if (!options_.enable_recovery || victims.empty()) {
     return Status::Ok();
   }
@@ -418,15 +431,31 @@ Status SymphonyCluster::KillReplica(size_t index) {
   if (!any_live) {
     return FailedPreconditionError("no surviving replica to fail over to");
   }
-  // Co-migrate every victim to ONE survivor so IPC-coupled LIPs re-execute
-  // their sends/recvs against each other (journal.h determinism contract).
-  size_t target = LeastLoaded();
+  // Spread the victims across survivors by (planned) load. IPC-coupled LIPs
+  // may land apart: the fabric serves each one's journaled recvs, suppresses
+  // its journaled sends, and rehomes its channels at replay time, so they no
+  // longer have to re-execute against each other on one replica. Sort first —
+  // records_ iteration order is unordered and placement must be stable.
+  std::sort(victims.begin(), victims.end());
+  std::vector<size_t> planned(replicas_.size(), 0);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    planned[i] = dead_[i] ? SIZE_MAX : replicas_[i]->runtime().live_lips();
+  }
   for (uint64_t uid : victims) {
+    size_t target = 0;
+    size_t best = SIZE_MAX;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (!dead_[i] && planned[i] < best) {
+        best = planned[i];
+        target = i;
+      }
+    }
+    ++planned[target];
     ReplayOnto(records_[uid], target);
     ++failovers_;
   }
   SYMPHONY_LOG(kInfo) << "replica " << index << " killed; " << victims.size()
-                      << " lip journal(s) shipped to replica " << target;
+                      << " lip journal(s) shipped to survivors";
   return Status::Ok();
 }
 
@@ -709,10 +738,25 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
     snap.lips_completed += replica->runtime().stats().lips_completed;
     snap.lips_replayed += replica->runtime().stats().lips_replayed;
     snap.replay_divergences += replica->runtime().stats().replay_divergences;
+    snap.ipc_recvs_replayed += replica->runtime().stats().ipc_recvs_replayed;
+    snap.ipc_sends_suppressed +=
+        replica->runtime().stats().ipc_sends_suppressed;
     if (dead_[i]) {
       ++snap.replicas_dead;
     }
   }
+  for (size_t i = 0; i < fabric_->replica_count(); ++i) {
+    const IpcReplicaStats& ipc = fabric_->replica_stats(i);
+    snap.ipc_sent += ipc.sent;
+    snap.ipc_received += ipc.received;
+    snap.ipc_forwarded += ipc.forwarded;
+    snap.ipc_dropped += ipc.dropped;
+    snap.ipc_per_replica.push_back(ipc);
+  }
+  snap.ipc_cross_sends = fabric_->stats().cross_sends;
+  snap.ipc_local_deliveries = fabric_->stats().local_deliveries;
+  snap.ipc_partition_retries = fabric_->stats().partition_retries;
+  snap.ipc_rehomes = fabric_->stats().rehomes;
   snap.failovers = failovers_;
   snap.migrations = migrations_;
   snap.overflow_events = overflow_events_;

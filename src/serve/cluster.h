@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/net/ipc_fabric.h"
 #include "src/recovery/replayer.h"
 #include "src/serve/server.h"
 #include "src/store/journal_checkpoint.h"
@@ -97,6 +98,9 @@ struct ClusterOptions {
   // Cluster admission tier: Submit() tries other live replicas (ascending
   // load) when the routed replica rejects, before shedding.
   bool reroute_on_reject = true;
+  // Cluster IPC fabric (src/net): cross-replica channel routing, partition
+  // retry/deadline behavior, link cost charging.
+  IpcFabricOptions ipc;
 };
 
 class SymphonyCluster {
@@ -147,8 +151,10 @@ class SymphonyCluster {
 
   // Kills replica `index` at the current virtual time: its runtime halts
   // (nothing on it ever resumes) and, with recovery enabled, every live
-  // journaled LIP is replayed on one least-loaded survivor — one survivor
-  // for all of them, so IPC-coupled LIPs re-execute against each other.
+  // journaled LIP is replayed on a survivor, spread across survivors by
+  // load. IPC-coupled LIPs no longer need to co-migrate: the fabric serves
+  // journaled recvs, suppresses journaled sends, and rehomes each replayed
+  // endpoint's channels wherever it lands (see src/net/ipc_fabric.h).
   Status KillReplica(size_t index);
 
   // Live-migrates one LIP to `to_replica`: detaches it from its current
@@ -189,6 +195,10 @@ class SymphonyCluster {
   SnapshotStore& store() { return *store_; }
   const SnapshotStore& store() const { return *store_; }
 
+  // The cluster IPC fabric (src/net): cluster-wide named channels.
+  IpcFabric& fabric() { return *fabric_; }
+  const IpcFabric& fabric() const { return *fabric_; }
+
   // ---- Introspection ---------------------------------------------------
 
   // Current placement of `id` (follows migrations via uid when recovery is
@@ -227,6 +237,18 @@ class SymphonyCluster {
     // Cluster admission tier.
     uint64_t submit_reroutes = 0;       // Rejections salvaged elsewhere.
     uint64_t submit_sheds = 0;          // Rejected by every live replica.
+    // Cluster IPC fabric (src/net).
+    uint64_t ipc_sent = 0;              // Messages accepted from senders.
+    uint64_t ipc_received = 0;          // Messages delivered to receivers.
+    uint64_t ipc_forwarded = 0;         // Transfers re-kicked after a rehome.
+    uint64_t ipc_dropped = 0;           // Partitioned past the send deadline.
+    uint64_t ipc_cross_sends = 0;       // Link transfers started.
+    uint64_t ipc_local_deliveries = 0;  // Sender and receiver co-located.
+    uint64_t ipc_partition_retries = 0; // Transfer attempts blocked.
+    uint64_t ipc_rehomes = 0;           // Channel endpoint re-registrations.
+    uint64_t ipc_recvs_replayed = 0;    // Recvs served verbatim from journals.
+    uint64_t ipc_sends_suppressed = 0;  // Journaled sends not re-sent.
+    std::vector<IpcReplicaStats> ipc_per_replica;
     SnapshotStoreStats store;
   };
   ClusterSnapshot Snapshot() const;
@@ -277,6 +299,7 @@ class SymphonyCluster {
   ClusterOptions options_;
   std::unique_ptr<CostModel> cost_model_;
   std::unique_ptr<SnapshotStore> store_;
+  std::unique_ptr<IpcFabric> fabric_;
   std::vector<std::unique_ptr<SymphonyServer>> replicas_;
   mutable size_t next_round_robin_ = 0;
   std::vector<uint64_t> launched_per_replica_;

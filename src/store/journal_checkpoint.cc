@@ -106,6 +106,8 @@ void AppendJournalEntry(std::string* out, const JournalEntry& entry) {
   }
   PutString(out, entry.payload);
   PutU64(out, static_cast<uint64_t>(entry.duration));
+  PutString(out, entry.channel);
+  PutU64(out, entry.ordinal);
 }
 
 std::string SerializeJournalEntries(const std::vector<JournalEntry>& entries) {
@@ -148,6 +150,8 @@ StatusOr<std::vector<JournalEntry>> ParseJournalEntries(
     SYMPHONY_ASSIGN_OR_RETURN(entry.payload, cursor.String());
     SYMPHONY_ASSIGN_OR_RETURN(uint64_t duration, cursor.U64());
     entry.duration = static_cast<SimDuration>(duration);
+    SYMPHONY_ASSIGN_OR_RETURN(entry.channel, cursor.String());
+    SYMPHONY_ASSIGN_OR_RETURN(entry.ordinal, cursor.U64());
     entries.push_back(std::move(entry));
   }
   return entries;
