@@ -14,6 +14,13 @@
 // versus the fault-free run, and whether the received sequence stayed
 // bit-identical.
 //
+// Part 3 (slow consumer, bounded vs unbounded): a producer floods a channel
+// whose home replica is inside a FaultPlan slow-consumer window, so every
+// delivery stalls. Unbounded channels absorb the flood as queue growth;
+// credit-bounded channels park the producer instead. The report compares
+// peak queue depth (the memory proxy), producer completion, delivery
+// goodput, and mean in-queue / end-to-end latency across credit limits.
+//
 // Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
 #include <algorithm>
 #include <cstdio>
@@ -33,7 +40,7 @@ LipProgram Pinger(int rounds, std::vector<SimDuration>* rtts) {
   return [rounds, rtts](LipContext& ctx) -> Task {
     for (int i = 0; i < rounds; ++i) {
       SimTime start = ctx.now();
-      ctx.send("ping", "p" + std::to_string(i));
+      co_await ctx.send("ping", "p" + std::to_string(i));
       StatusOr<std::string> reply = co_await ctx.recv("pong");
       if (!reply.ok()) {
         co_return;
@@ -51,7 +58,7 @@ LipProgram Ponger(int rounds) {
       if (!msg.ok()) {
         co_return;
       }
-      ctx.send("pong", *msg + ":ack");
+      co_await ctx.send("pong", *msg + ":ack");
     }
     co_return;
   };
@@ -122,7 +129,7 @@ constexpr SimDuration kStreamGap = Micros(500);
 LipProgram StreamProducer() {
   return [](LipContext& ctx) -> Task {
     for (int i = 0; i < kStreamMsgs; ++i) {
-      ctx.send("stream", "s" + std::to_string(i));
+      co_await ctx.send("stream", "s" + std::to_string(i));
       co_await ctx.sleep(kStreamGap);
     }
     co_return;
@@ -235,6 +242,117 @@ void MigrationStallSweep() {
   table.Print("split-pair stream: migration/kill stall (Llama13B links)");
 }
 
+// ---- Part 3: slow consumer, bounded vs unbounded -----------------------
+
+constexpr int kFloodMsgs = 64;
+constexpr SimDuration kConsumerStall = Micros(200);
+
+// Sends as fast as the channel admits. `offered[i]` is when the producer
+// reached the send (includes any credit-park time in later deltas);
+// `accepted[i]` is when the fabric took the message.
+LipProgram FloodProducer(std::vector<SimTime>* offered,
+                         std::vector<SimTime>* accepted) {
+  return [offered, accepted](LipContext& ctx) -> Task {
+    for (int i = 0; i < kFloodMsgs; ++i) {
+      (*offered)[i] = ctx.now();
+      co_await ctx.send("flood", "f" + std::to_string(i));
+      (*accepted)[i] = ctx.now();
+    }
+    co_return;
+  };
+}
+
+LipProgram FloodConsumer(std::vector<SimTime>* arrivals) {
+  return [arrivals](LipContext& ctx) -> Task {
+    for (int i = 0; i < kFloodMsgs; ++i) {
+      StatusOr<std::string> msg = co_await ctx.recv("flood");
+      if (!msg.ok()) {
+        co_return;
+      }
+      (*arrivals)[i] = ctx.now();  // Single producer: FIFO, index == order.
+    }
+    co_return;
+  };
+}
+
+struct SlowConsumerRun {
+  uint64_t queue_peak = 0;
+  uint64_t credit_waits = 0;
+  double producer_done_ms = 0.0;
+  double finish_ms = 0.0;
+  double goodput_msgs_per_s = 0.0;
+  double mean_queue_us = 0.0;  // accepted -> delivered (fabric residency).
+  double mean_e2e_us = 0.0;    // offered -> delivered (producer's view).
+};
+
+SlowConsumerRun RunSlowConsumer(uint64_t credits) {
+  Simulator sim;
+  FaultPlan faults(7);
+  // Consumer lands on replica 0 (round-robin, launched first), so the
+  // channel homes there; stall every delivery for the whole run.
+  faults.AddSlowConsumer(0, 0, Seconds(60), kConsumerStall);
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.server.fault_plan = &faults;
+  options.ipc.channel_credits = credits;
+  SymphonyCluster cluster(&sim, options);
+  std::vector<SimTime> offered(kFloodMsgs, 0);
+  std::vector<SimTime> accepted(kFloodMsgs, 0);
+  std::vector<SimTime> arrivals(kFloodMsgs, 0);
+  cluster.Launch("consumer", "", FloodConsumer(&arrivals));
+  cluster.Launch("producer", "", FloodProducer(&offered, &accepted));
+  sim.Run();
+  SlowConsumerRun run;
+  run.queue_peak = cluster.fabric().View("flood").queue_peak;
+  run.credit_waits = cluster.fabric().stats().credit_waits;
+  run.producer_done_ms = ToSeconds(accepted.back()) * 1e3;
+  run.finish_ms = ToSeconds(arrivals.back()) * 1e3;
+  if (arrivals.back() > 0) {
+    run.goodput_msgs_per_s =
+        static_cast<double>(kFloodMsgs) / ToSeconds(arrivals.back());
+  }
+  SimDuration queue_total = 0;
+  SimDuration e2e_total = 0;
+  for (int i = 0; i < kFloodMsgs; ++i) {
+    queue_total += arrivals[i] - accepted[i];
+    e2e_total += arrivals[i] - offered[i];
+  }
+  run.mean_queue_us = ToSeconds(queue_total) / kFloodMsgs * 1e6;
+  run.mean_e2e_us = ToSeconds(e2e_total) / kFloodMsgs * 1e6;
+  return run;
+}
+
+void SlowConsumerSweep() {
+  BenchTable table({"credits", "queue_peak", "credit_waits",
+                    "producer_done_ms", "finish_ms", "goodput_msg_s",
+                    "mean_queue_us", "mean_e2e_us"});
+  for (uint64_t credits : {uint64_t{0}, uint64_t{4}, uint64_t{16}}) {
+    SlowConsumerRun run = RunSlowConsumer(credits);
+    std::string label = credits == 0 ? "unbounded" : std::to_string(credits);
+    table.AddRow({label, std::to_string(run.queue_peak),
+                  std::to_string(run.credit_waits),
+                  Fmt(run.producer_done_ms), Fmt(run.finish_ms),
+                  Fmt(run.goodput_msgs_per_s, 0), Fmt(run.mean_queue_us),
+                  Fmt(run.mean_e2e_us)});
+    std::printf(
+        "JSON {\"bench\":\"ipc\",\"part\":\"slow_consumer\","
+        "\"credits\":%llu,\"msgs\":%d,\"queue_peak\":%llu,"
+        "\"credit_waits\":%llu,\"producer_done_ms\":%.3f,\"finish_ms\":%.3f,"
+        "\"goodput_msgs_per_s\":%.0f,\"mean_queue_us\":%.3f,"
+        "\"mean_e2e_us\":%.3f}\n",
+        static_cast<unsigned long long>(credits), kFloodMsgs,
+        static_cast<unsigned long long>(run.queue_peak),
+        static_cast<unsigned long long>(run.credit_waits),
+        run.producer_done_ms, run.finish_ms, run.goodput_msgs_per_s,
+        run.mean_queue_us, run.mean_e2e_us);
+  }
+  std::printf("\nflood: %d msgs, consumer stalled %.0fus/delivery\n",
+              kFloodMsgs, ToSeconds(kConsumerStall) * 1e6);
+  table.Print(
+      "slow consumer: queue growth vs credit backpressure (Llama13B links)");
+}
+
 }  // namespace
 }  // namespace symphony
 
@@ -242,5 +360,6 @@ int main() {
   std::printf("bench_ipc: cluster IPC fabric latency, throughput, stalls\n");
   symphony::PingPongSweep();
   symphony::MigrationStallSweep();
+  symphony::SlowConsumerSweep();
   return 0;
 }

@@ -34,10 +34,10 @@ int main() {
       StatusOr<std::string> doc =
           co_await ctx.call_tool("search", "subtopic-" + std::to_string(i));
       if (!doc.ok()) {
-        ctx.send("notes", "ERROR");
+        co_await ctx.send("notes", "ERROR");
         continue;
       }
-      ctx.send("notes", *doc);
+      co_await ctx.send("notes", *doc);
       ctx.emit("[researcher] sent note " + std::to_string(i) + "\n");
     }
     co_return;
@@ -78,9 +78,9 @@ int main() {
     std::sort(scored.begin(), scored.end(),
               [](const auto& a, const auto& b) { return a.first > b.first; });
     size_t keep = scored.size() / 2;
-    ctx.send("approved_count", std::to_string(keep));
+    co_await ctx.send("approved_count", std::to_string(keep));
     for (size_t i = 0; i < keep; ++i) {
-      ctx.send("approved", scored[i].second);
+      co_await ctx.send("approved", scored[i].second);
     }
     co_return;
   });

@@ -28,6 +28,8 @@ std::string_view StatusCodeName(StatusCode code) {
       return "INTERNAL";
     case StatusCode::kDeadlineExceeded:
       return "DEADLINE_EXCEEDED";
+    case StatusCode::kDeadlock:
+      return "DEADLOCK";
   }
   return "UNKNOWN";
 }
@@ -76,6 +78,9 @@ Status InternalError(std::string message) {
 }
 Status DeadlineExceededError(std::string message) {
   return Status(StatusCode::kDeadlineExceeded, std::move(message));
+}
+Status DeadlockError(std::string message) {
+  return Status(StatusCode::kDeadlock, std::move(message));
 }
 
 }  // namespace symphony

@@ -30,6 +30,7 @@ enum class StatusCode {
   kQuotaExceeded,     // EDQUOT: per-LIP resource quota hit (not retryable).
   kInternal,          // invariant violation; indicates a Symphony bug.
   kDeadlineExceeded,  // ETIMEDOUT: tool-call timeout or per-LIP deadline.
+  kDeadlock,          // EDEADLK: credit-wait cycle detected on an IPC channel.
 };
 
 // Transient failures are safe to retry after a backoff; everything else is
@@ -88,6 +89,7 @@ Status UnavailableError(std::string message);
 Status QuotaExceededError(std::string message);
 Status InternalError(std::string message);
 Status DeadlineExceededError(std::string message);
+Status DeadlockError(std::string message);
 
 // StatusOr<T>: either an OK status with a value, or a non-OK status.
 template <typename T>

@@ -1,5 +1,7 @@
 #include "src/faults/fault_plan.h"
 
+#include <algorithm>
+
 #include "src/common/hash.h"
 #include "src/common/rng.h"
 
@@ -81,6 +83,20 @@ bool FaultPlan::OnIpcTransmit(size_t from, size_t to, SimTime now) {
   }
   ++stats_.partition_blocks;
   return true;
+}
+
+SimDuration FaultPlan::OnIpcDeliver(size_t replica, SimTime now) {
+  SimDuration stall = 0;
+  for (const SlowConsumerSpec& spec : slow_consumers_) {
+    if (spec.replica == replica && now >= spec.at &&
+        now < spec.at + spec.duration) {
+      stall = std::max(stall, spec.stall);
+    }
+  }
+  if (stall > 0) {
+    ++stats_.slow_consumer_stalls;
+  }
+  return stall;
 }
 
 void FaultPlan::ArmKvPressure(Simulator* sim, Kvfs* kvfs) {

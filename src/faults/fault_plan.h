@@ -97,12 +97,24 @@ struct PartitionSpec {
   SimDuration duration = 0;
 };
 
+// A slow-consumer window on `replica` during [at, at + duration): every IPC
+// message that becomes deliverable at a channel homed there is held for
+// `stall` before a recv may take it. Lets tests exercise credit backpressure
+// (bounded channels fill, senders park) without hand-built stalling LIPs.
+struct SlowConsumerSpec {
+  size_t replica = 0;
+  SimTime at = 0;
+  SimDuration duration = 0;
+  SimDuration stall = 0;
+};
+
 struct FaultPlanStats {
   uint64_t tool_faults = 0;         // Injected failures (transient + outage).
   uint64_t tool_tail_stretches = 0; // Latency-tail injections.
   uint64_t pressure_windows = 0;    // KV pressure windows actually opened.
   uint64_t kv_corruptions = 0;      // Chunk transfers corrupted in flight.
   uint64_t partition_blocks = 0;    // IPC transfer attempts blocked.
+  uint64_t slow_consumer_stalls = 0;  // Deliveries held by a stall window.
 };
 
 class FaultPlan {
@@ -129,6 +141,11 @@ class FaultPlan {
 
   void AddPartition(size_t a, size_t b, SimTime at, SimDuration duration) {
     partitions_.push_back(PartitionSpec{a, b, at, duration});
+  }
+
+  void AddSlowConsumer(size_t replica, SimTime at, SimDuration duration,
+                       SimDuration stall) {
+    slow_consumers_.push_back(SlowConsumerSpec{replica, at, duration, stall});
   }
 
   // ---- Consultation (serving layer) ------------------------------------
@@ -163,6 +180,12 @@ class FaultPlan {
   // without counting a blocked attempt.
   bool Partitioned(size_t from, size_t to, SimTime now) const;
 
+  // Delay before a message that just became deliverable at a channel homed
+  // on `replica` may be received; 0 outside every slow-consumer window.
+  // Pure time check (longest covering window wins), so retried and replayed
+  // consultations are deterministic.
+  SimDuration OnIpcDeliver(size_t replica, SimTime now);
+
   const std::vector<std::pair<size_t, SimTime>>& replica_kills() const {
     return kills_;
   }
@@ -176,6 +199,7 @@ class FaultPlan {
   std::vector<KvPressureSpec> pressure_;
   std::vector<KvCorruptionSpec> corruption_;
   std::vector<PartitionSpec> partitions_;
+  std::vector<SlowConsumerSpec> slow_consumers_;
   FaultPlanStats stats_;
 };
 

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <set>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
@@ -59,35 +60,216 @@ IpcFabric::Message* IpcFabric::FindMessage(ChannelState& ch, uint64_t msg_id) {
   return nullptr;
 }
 
-void IpcFabric::Send(size_t replica, LipId sender, const std::string& channel,
-                     std::string message) {
+IpcFabric::ChannelState& IpcFabric::Chan(const std::string& name) {
+  auto [it, inserted] = channels_.try_emplace(name);
+  if (inserted && options_.channel_credits > 0) {
+    it->second.capacity = options_.channel_credits;
+    it->second.credits = static_cast<int64_t>(options_.channel_credits);
+  }
+  return it->second;
+}
+
+bool IpcFabric::TrySend(size_t replica, LipId sender,
+                        const std::string& channel, std::string* message) {
   (void)sender;  // Channel identity is receiver-side; senders stay anonymous.
-  ChannelState& ch = channels_[channel];
+  ChannelState& ch = Chan(channel);
+  // FIFO among senders: a fresh send never overtakes parked ones, even when
+  // a credit is momentarily free (DrainSenders will hand it to the head).
+  if (ch.capacity > 0 && (ch.credits <= 0 || !ch.send_waiters.empty())) {
+    return false;
+  }
+  Accept(replica, channel, ch, std::move(*message));
+  return true;
+}
+
+void IpcFabric::Accept(size_t replica, const std::string& name,
+                       ChannelState& ch, std::string bytes) {
   ++replica_stats_[replica].sent;
+  if (ch.capacity > 0) {
+    --ch.credits;  // The credit travels with the message until delivery/drop.
+  }
   Message msg;
   msg.id = ch.next_send_id++;
   msg.origin = replica;
   msg.at = replica;
-  msg.bytes = std::move(message);
+  msg.bytes = std::move(bytes);
   ch.queue.push_back(std::move(msg));
+  ch.queue_peak = std::max(ch.queue_peak, ch.queue.size());
   // An unregistered channel parks the message at its origin; the first recv
   // homes the channel and routes everything queued.
   if (ch.registered) {
-    RouteMessage(channel, ch, ch.queue.back());
-    Drain(channel, ch);
+    IpcReplicaStats& home = replica_stats_[ch.home];
+    home.queue_peak =
+        std::max(home.queue_peak, static_cast<uint64_t>(ch.queue.size()));
+    RouteMessage(name, ch, ch.queue.back());
+    Drain(name, ch);
   }
+}
+
+void IpcFabric::AddSendWaiter(size_t replica, LipId sender,
+                              const std::string& channel, ThreadId waiter,
+                              std::string* slot, uint64_t resume_grant) {
+  ChannelState& ch = Chan(channel);
+  // A replayed thread's first re-park carries the grant ordinal after its
+  // last journaled credit wait. Replay fast-forwards threads in dispatch
+  // order, not original park order, so slot it back by grant ordinal among
+  // its own LIP's hinted senders (live senders — grant 0 — are never
+  // overtaken). Mirror of AddWaiter's resume_ordinal insertion.
+  auto pos = ch.send_waiters.end();
+  while (resume_grant > 0 && pos != ch.send_waiters.begin()) {
+    auto prev = std::prev(pos);
+    if (prev->replica != replica || prev->lip != sender ||
+        prev->resume_grant <= resume_grant) {
+      break;
+    }
+    pos = prev;
+  }
+  ch.send_waiters.insert(
+      pos, SendWaiter{replica, sender, waiter, slot, resume_grant});
+  ++stats_.credit_waits;
+  ++replica_stats_[replica].credit_waits;
+  if (trace_ != nullptr) {
+    trace_->Instant("net", "credit-wait:" + channel, sim_->now());
+  }
+  // Self-healing: grant immediately if a credit freed between the failed
+  // TrySend and the park (cannot happen in the single-threaded simulation,
+  // but keeps the invariant local), then look for a credit-wait cycle.
+  DrainSenders(channel, ch);
+  CheckDeadlock(channel, ch);
+}
+
+void IpcFabric::Refund(const std::string& name, ChannelState& ch) {
+  if (ch.capacity == 0) {
+    return;
+  }
+  ++ch.credits;
+  DrainSenders(name, ch);
+}
+
+void IpcFabric::DrainSenders(const std::string& name, ChannelState& ch) {
+  if (ch.granting) {
+    return;  // Re-entered via Accept -> Drain -> Refund: the outer loop
+             // re-checks the refreshed credit balance and keeps granting.
+  }
+  ch.granting = true;
+  // capacity 0 here means the channel just became unbounded with senders
+  // still parked (SetChannelCredits): release them all.
+  while ((ch.capacity == 0 || ch.credits > 0) && !ch.send_waiters.empty()) {
+    SendWaiter waiter = ch.send_waiters.front();
+    ch.send_waiters.pop_front();
+    LipRuntime* runtime =
+        waiter.replica < runtimes_.size() ? runtimes_[waiter.replica] : nullptr;
+    if (runtime == nullptr) {
+      continue;  // Unattached replica: discard the stale parked sender.
+    }
+    std::string bytes;
+    if (!runtime->CompleteBlockedSend(waiter.thread, waiter.slot, name,
+                                      ch.next_grant_ordinal, &bytes)) {
+      continue;  // Dead sender: credit and grant ordinal stay unconsumed.
+    }
+    ++ch.next_grant_ordinal;
+    ++stats_.credit_grants;
+    Accept(waiter.replica, name, ch, std::move(bytes));
+  }
+  ch.granting = false;
+}
+
+void IpcFabric::CheckDeadlock(const std::string& name, ChannelState& origin) {
+  if (!origin.registered || origin.deadlocked) {
+    return;
+  }
+  // Endpoint wait-for graph: an edge (sender endpoint) -> (home endpoint)
+  // for every parked sender — the sender cannot proceed until the channel's
+  // receiver frees a credit. Conservative for multi-threaded LIPs (one
+  // parked thread flags the whole endpoint), which is fine for a detector
+  // that only surfaces state.
+  using Node = std::pair<size_t, LipId>;
+  std::map<Node, std::vector<Node>> fwd;
+  std::map<Node, std::vector<Node>> rev;
+  for (const auto& [n, ch] : channels_) {
+    if (!ch.registered || ch.send_waiters.empty()) {
+      continue;
+    }
+    Node home{ch.home, ch.receiver};
+    for (const SendWaiter& w : ch.send_waiters) {
+      Node from{w.replica, w.lip};
+      fwd[from].push_back(home);
+      rev[home].push_back(from);
+    }
+  }
+  auto reach = [](const std::map<Node, std::vector<Node>>& edges, Node start) {
+    std::set<Node> seen;
+    std::vector<Node> stack{start};
+    while (!stack.empty()) {
+      Node node = stack.back();
+      stack.pop_back();
+      auto it = edges.find(node);
+      if (it == edges.end()) {
+        continue;
+      }
+      for (const Node& next : it->second) {
+        if (seen.insert(next).second) {
+          stack.push_back(next);
+        }
+      }
+    }
+    return seen;
+  };
+  for (const SendWaiter& w : origin.send_waiters) {
+    Node start{w.replica, w.lip};
+    std::set<Node> forward = reach(fwd, start);
+    if (forward.count(start) == 0) {
+      continue;  // No cycle through this sender.
+    }
+    // The cycle's node set is the SCC of `start`: nodes both reachable from
+    // it and able to reach it. Flag every channel the cycle runs through.
+    std::set<Node> backward = reach(rev, start);
+    std::set<Node> scc;
+    for (const Node& node : forward) {
+      if (backward.count(node) > 0) {
+        scc.insert(node);
+      }
+    }
+    scc.insert(start);
+    for (auto& [n, ch] : channels_) {
+      if (!ch.registered || ch.deadlocked || ch.send_waiters.empty() ||
+          scc.count(Node{ch.home, ch.receiver}) == 0) {
+        continue;
+      }
+      bool parked_in_cycle = false;
+      for (const SendWaiter& pw : ch.send_waiters) {
+        if (scc.count(Node{pw.replica, pw.lip}) > 0) {
+          parked_in_cycle = true;
+          break;
+        }
+      }
+      if (!parked_in_cycle) {
+        continue;
+      }
+      ch.deadlocked = true;
+      ch.last_error = DeadlockError("credit-wait cycle through channel '" +
+                                    n + "'");
+      ++stats_.credit_deadlocks;
+      SYMPHONY_LOG(kWarning) << "ipc credit-wait deadlock on '" << n << "'";
+      if (trace_ != nullptr) {
+        trace_->Instant("net", "deadlock:" + n, sim_->now());
+      }
+    }
+    return;  // One detection pass per park is enough.
+  }
+  (void)name;
 }
 
 bool IpcFabric::TryRecv(size_t replica, LipId receiver,
                         const std::string& channel, std::string* message,
                         uint64_t* ordinal) {
-  ChannelState& ch = channels_[channel];
+  ChannelState& ch = Chan(channel);
   Register(channel, ch, replica, receiver);
   // FIFO fairness: a fresh receiver never overtakes parked waiters.
   if (!ch.waiters.empty()) {
     return false;
   }
-  if (ch.queue.empty() || !ch.queue.front().available) {
+  if (ch.queue.empty() || !Deliverable(ch.queue.front())) {
     return false;
   }
   Message msg = std::move(ch.queue.front());
@@ -98,13 +280,14 @@ bool IpcFabric::TryRecv(size_t replica, LipId receiver,
   if (msg.origin == replica) {
     ++stats_.local_deliveries;
   }
+  Refund(channel, ch);
   return true;
 }
 
 void IpcFabric::AddWaiter(size_t replica, LipId receiver,
                           const std::string& channel, ThreadId waiter,
                           std::string* slot, uint64_t resume_ordinal) {
-  ChannelState& ch = channels_[channel];
+  ChannelState& ch = Chan(channel);
   Register(channel, ch, replica, receiver);
   // A replayed thread's first re-park carries the ordinal it was waiting for
   // when its endpoint died. Replay fast-forwards threads in dispatch order,
@@ -134,6 +317,17 @@ void IpcFabric::DropWaiters(size_t replica, LipId lip) {
       kept.push_back(w);
     }
     ch.waiters = std::move(kept);
+    // Parked senders of the dead endpoint never consumed a credit (the
+    // message is still in the killed frame's slot): scrub, nothing to
+    // refund. A replayed incarnation re-runs the send and re-parks.
+    std::deque<SendWaiter> kept_senders;
+    for (const SendWaiter& w : ch.send_waiters) {
+      if (w.replica == replica && w.lip == lip) {
+        continue;
+      }
+      kept_senders.push_back(w);
+    }
+    ch.send_waiters = std::move(kept_senders);
   }
 }
 
@@ -147,6 +341,14 @@ void IpcFabric::DropReplicaWaiters(size_t replica) {
       kept.push_back(w);
     }
     ch.waiters = std::move(kept);
+    std::deque<SendWaiter> kept_senders;
+    for (const SendWaiter& w : ch.send_waiters) {
+      if (w.replica == replica) {
+        continue;
+      }
+      kept_senders.push_back(w);
+    }
+    ch.send_waiters = std::move(kept_senders);
   }
 }
 
@@ -179,7 +381,7 @@ void IpcFabric::Register(const std::string& name, ChannelState& ch,
       continue;
     }
     if (msg->at == replica) {
-      msg->available = true;
+      MakeAvailable(name, ch, *msg);
       continue;
     }
     msg->available = false;
@@ -218,7 +420,7 @@ void IpcFabric::RehomeEndpoint(size_t old_replica, LipId old_lip,
         continue;
       }
       if (msg->at == new_replica) {
-        msg->available = true;
+        MakeAvailable(name, ch, *msg);
         continue;
       }
       msg->available = false;
@@ -234,10 +436,38 @@ void IpcFabric::RehomeEndpoint(size_t old_replica, LipId old_lip,
 void IpcFabric::RouteMessage(const std::string& name, ChannelState& ch,
                              Message& msg) {
   if (msg.at == ch.home) {
-    msg.available = true;
+    MakeAvailable(name, ch, msg);
     return;
   }
   BeginTransfer(name, msg.id);
+}
+
+bool IpcFabric::Deliverable(const Message& msg) const {
+  return msg.available && sim_->now() >= msg.ready_at;
+}
+
+void IpcFabric::MakeAvailable(const std::string& name, ChannelState& ch,
+                              Message& msg) {
+  msg.available = true;
+  msg.ready_at = 0;
+  if (faults_ == nullptr) {
+    return;
+  }
+  SimDuration stall = faults_->OnIpcDeliver(ch.home, sim_->now());
+  if (stall <= 0) {
+    return;
+  }
+  msg.ready_at = sim_->now() + stall;
+  if (trace_ != nullptr) {
+    trace_->Instant("net", "slow-consumer:" + name, sim_->now());
+  }
+  uint64_t msg_id = msg.id;
+  sim_->ScheduleAt(msg.ready_at, [this, name, msg_id] {
+    ChannelState& chan = Chan(name);
+    if (FindMessage(chan, msg_id) != nullptr) {
+      Drain(name, chan);
+    }
+  });
 }
 
 SimDuration IpcFabric::RetryDelay(const std::string& name,
@@ -259,7 +489,7 @@ SimDuration IpcFabric::RetryDelay(const std::string& name,
 }
 
 void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
-  ChannelState& ch = channels_[name];
+  ChannelState& ch = Chan(name);
   Message* msg = FindMessage(ch, msg_id);
   if (msg == nullptr || msg->available || msg->in_flight || !ch.registered) {
     return;
@@ -267,7 +497,7 @@ void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
   size_t from = msg->at;
   size_t to = ch.home;
   if (from == to) {
-    msg->available = true;
+    MakeAvailable(name, ch, *msg);
     Drain(name, ch);
     return;
   }
@@ -284,7 +514,7 @@ void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
     ++msg->attempt;
     msg->in_flight = true;  // The retry event owns the message until it fires.
     sim_->ScheduleAfter(RetryDelay(name, *msg), [this, name, msg_id] {
-      ChannelState& chan = channels_[name];
+      ChannelState& chan = Chan(name);
       Message* m = FindMessage(chan, msg_id);
       if (m == nullptr) {
         return;
@@ -307,7 +537,7 @@ void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
 }
 
 void IpcFabric::Arrive(const std::string& name, uint64_t msg_id, size_t at) {
-  ChannelState& ch = channels_[name];
+  ChannelState& ch = Chan(name);
   Message* msg = FindMessage(ch, msg_id);
   if (msg == nullptr) {
     return;
@@ -318,7 +548,10 @@ void IpcFabric::Arrive(const std::string& name, uint64_t msg_id, size_t at) {
     return;
   }
   if (at == ch.home) {
-    msg->available = true;
+    MakeAvailable(name, ch, *msg);
+    IpcReplicaStats& home = replica_stats_[ch.home];
+    home.queue_peak =
+        std::max(home.queue_peak, static_cast<uint64_t>(ch.queue.size()));
     Drain(name, ch);
     return;
   }
@@ -328,7 +561,7 @@ void IpcFabric::Arrive(const std::string& name, uint64_t msg_id, size_t at) {
 }
 
 void IpcFabric::Drain(const std::string& name, ChannelState& ch) {
-  while (!ch.queue.empty() && ch.queue.front().available &&
+  while (!ch.queue.empty() && Deliverable(ch.queue.front()) &&
          !ch.waiters.empty()) {
     Waiter waiter = ch.waiters.front();
     ch.waiters.pop_front();
@@ -348,6 +581,7 @@ void IpcFabric::Drain(const std::string& name, ChannelState& ch) {
       ++stats_.local_deliveries;
     }
     ch.queue.pop_front();
+    Refund(name, ch);
   }
 }
 
@@ -368,6 +602,7 @@ void IpcFabric::DropMessage(const std::string& name, ChannelState& ch,
       trace_->Instant("net", "drop:" + name, sim_->now());
     }
     ch.queue.erase(it);
+    Refund(name, ch);  // A dropped message must return its credit.
     break;
   }
   Drain(name, ch);  // The next head may already be available.
@@ -387,7 +622,43 @@ ChannelView IpcFabric::View(const std::string& channel) const {
   view.waiters = ch.waiters.size();
   view.dropped = ch.dropped;
   view.last_error = ch.last_error;
+  view.capacity = ch.capacity;
+  view.credits = ch.credits;
+  view.send_waiters = ch.send_waiters.size();
+  view.queue_peak = ch.queue_peak;
+  view.deadlocked = ch.deadlocked;
   return view;
+}
+
+void IpcFabric::SetChannelCredits(const std::string& channel,
+                                  uint64_t capacity) {
+  ChannelState& ch = Chan(channel);
+  ch.capacity = capacity;
+  if (capacity == 0) {
+    ch.credits = 0;
+    DrainSenders(channel, ch);  // Unbounded now: release everyone parked.
+    return;
+  }
+  ch.credits =
+      static_cast<int64_t>(capacity) - static_cast<int64_t>(ch.queue.size());
+  DrainSenders(channel, ch);
+}
+
+size_t IpcFabric::ParkedSenders(size_t replica) const {
+  size_t parked = 0;
+  for (const auto& [name, ch] : channels_) {
+    for (const SendWaiter& w : ch.send_waiters) {
+      if (w.replica == replica) {
+        ++parked;
+      }
+    }
+  }
+  return parked;
+}
+
+SimDuration IpcFabric::BackpressureDelay(size_t replica) const {
+  return static_cast<SimDuration>(ParkedSenders(replica)) *
+         options_.backpressure_penalty;
 }
 
 }  // namespace symphony

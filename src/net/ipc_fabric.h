@@ -33,6 +33,39 @@
 // jittered per (seed, channel, message, attempt)) and the message is dropped
 // — kUnavailable recorded on the channel, visible via View()/stats, never
 // thrown at the sender — only once it has been stuck past send_deadline.
+//
+// Flow control (credit-based): a channel with capacity k holds a ledger of k
+// credits. Accepting a send consumes one; the credit travels with the
+// message (through transfers, forwarding, and rehoming — the ledger is
+// fabric-global, so moving bytes between replicas conserves it) and is
+// refunded when the message is delivered to a receiver or dropped at the
+// partition deadline. With no credits left, TrySend refuses and the sender
+// parks in a per-channel FIFO (the sender-side mirror of recv waiters); a
+// freed credit grants the head parked sender via
+// LipRuntime::CompleteBlockedSend, which journals a kCreditWait entry
+// carrying the channel's grant ordinal immediately before the send's kSend
+// entry — so replay consumes the pair without touching the fabric, and a
+// sender killed while parked re-parks at its original FIFO position among
+// its LIP's senders (resume_grant, same discipline as recv resume
+// ordinals). Fabric queue depth therefore never exceeds k, and blocked-
+// sender wakeup order is bit-identical under kill/migrate/replay of either
+// endpoint. capacity 0 (the default) keeps the channel unbounded and send
+// non-blocking, exactly as before.
+//
+// Deadlock detection: senders parked for credits can cycle (A full-sends to
+// B while B full-sends to A). At each park the fabric walks the endpoint
+// wait-for graph — edges (parked sender's endpoint) -> (channel's home
+// endpoint) — and, on a cycle, surfaces kDeadlock on every participating
+// channel (ChannelView::deadlocked + last_error) and counts it in stats.
+// Detection-only and conservative (a multi-threaded LIP with one thread
+// parked is flagged even if a sibling thread could still drain): the
+// simulation terminates regardless because parked senders schedule no
+// events, so surfacing beats unblocking.
+//
+// Slow-consumer windows (src/faults): FaultPlan::AddSlowConsumer holds every
+// message that becomes deliverable at a replica inside the window for a
+// configured stall before a recv may take it — the canonical way to fill a
+// bounded channel and exercise backpressure in tests.
 #ifndef SRC_NET_IPC_FABRIC_H_
 #define SRC_NET_IPC_FABRIC_H_
 
@@ -66,6 +99,14 @@ struct IpcFabricOptions {
   // uniformly from [1 - retry_jitter, 1 + retry_jitter].
   double retry_jitter = 0.2;
   uint64_t seed = 0x1Bc;
+  // Credit capacity applied to every channel at creation; 0 = unbounded
+  // (legacy behaviour: send never blocks). SetChannelCredits overrides per
+  // channel.
+  uint64_t channel_credits = 0;
+  // Admission backpressure: each sender parked for a credit on a replica
+  // inflates that replica's projected queue delay by this much (see
+  // BackpressureDelay and SymphonyServer::set_backpressure_hook).
+  SimDuration backpressure_penalty = Micros(50);
 };
 
 struct IpcReplicaStats {
@@ -73,6 +114,8 @@ struct IpcReplicaStats {
   uint64_t received = 0;   // Messages delivered to receivers on this replica.
   uint64_t forwarded = 0;  // Transfers re-kicked off this replica (rehoming).
   uint64_t dropped = 0;    // Messages dropped here (partition past deadline).
+  uint64_t credit_waits = 0;  // Sends from this replica parked for a credit.
+  uint64_t queue_peak = 0;    // Deepest queue among channels homed here.
 };
 
 struct IpcFabricStats {
@@ -80,6 +123,9 @@ struct IpcFabricStats {
   uint64_t cross_sends = 0;        // Link transfers started.
   uint64_t partition_retries = 0;  // Transfer attempts blocked by a partition.
   uint64_t rehomes = 0;            // Channel endpoint re-registrations.
+  uint64_t credit_waits = 0;       // Senders parked for a credit.
+  uint64_t credit_grants = 0;      // Parked senders granted a freed credit.
+  uint64_t credit_deadlocks = 0;   // Channels flagged kDeadlock (once each).
 };
 
 // Introspection snapshot of one channel (tests, bench reports).
@@ -90,7 +136,14 @@ struct ChannelView {
   size_t queued = 0;   // Undelivered messages (any replica, incl. in flight).
   size_t waiters = 0;  // Parked receivers.
   uint64_t dropped = 0;
-  Status last_error;   // kUnavailable after a partition-deadline drop.
+  Status last_error;   // kUnavailable after a partition-deadline drop;
+                       // kDeadlock after a credit-wait cycle.
+  // Flow control (capacity 0 = unbounded; credits/send_waiters then unused).
+  uint64_t capacity = 0;
+  int64_t credits = 0;      // Remaining; negative after a live cap reduction.
+  size_t send_waiters = 0;  // Senders parked for a credit.
+  size_t queue_peak = 0;    // High-watermark of queue depth (<= capacity).
+  bool deadlocked = false;  // A credit-wait cycle goes through this channel.
 };
 
 class IpcFabric : public ChannelFabric {
@@ -116,8 +169,11 @@ class IpcFabric : public ChannelFabric {
 
   // ---- ChannelFabric (called by LipRuntime) -----------------------------
 
-  void Send(size_t replica, LipId sender, const std::string& channel,
-            std::string message) override;
+  bool TrySend(size_t replica, LipId sender, const std::string& channel,
+               std::string* message) override;
+  void AddSendWaiter(size_t replica, LipId sender, const std::string& channel,
+                     ThreadId waiter, std::string* slot,
+                     uint64_t resume_grant) override;
   bool TryRecv(size_t replica, LipId receiver, const std::string& channel,
                std::string* message, uint64_t* ordinal) override;
   void AddWaiter(size_t replica, LipId receiver, const std::string& channel,
@@ -125,6 +181,22 @@ class IpcFabric : public ChannelFabric {
                  uint64_t resume_ordinal) override;
   void DropWaiters(size_t replica, LipId lip) override;
   void DropReplicaWaiters(size_t replica) override;
+
+  // ---- Flow control -----------------------------------------------------
+
+  // Per-channel capacity override (0 = unbounded). Applies to live channels:
+  // the remaining credit balance becomes capacity - queued (negative when
+  // shrinking below the current depth — existing messages are never dropped,
+  // the channel just refuses new sends until it drains). A raise grants
+  // parked senders immediately.
+  void SetChannelCredits(const std::string& channel, uint64_t capacity);
+
+  // Senders currently parked for a credit on channels, sending from
+  // `replica`, and the admission-facing penalty derived from them
+  // (parked * options.backpressure_penalty) — wired into
+  // SymphonyServer::set_backpressure_hook by the cluster.
+  size_t ParkedSenders(size_t replica) const;
+  SimDuration BackpressureDelay(size_t replica) const;
 
   // ---- Introspection ----------------------------------------------------
 
@@ -146,6 +218,8 @@ class IpcFabric : public ChannelFabric {
     size_t at = 0;           // Replica the bytes currently sit on.
     bool in_flight = false;  // A transfer or retry event is pending.
     bool available = false;  // Arrived at the channel's current home.
+    SimTime ready_at = 0;    // Deliverable no earlier than this (slow-consumer
+                             // stall window; 0 = immediately once available).
     SimTime first_blocked = -1;  // First partition-blocked attempt (-1: none).
     uint32_t attempt = 0;        // Blocked-transfer retry count.
     std::string bytes;
@@ -159,6 +233,15 @@ class IpcFabric : public ChannelFabric {
     // is waiting for, used to slot it back into its original queue position.
     uint64_t resume_ordinal = 0;
   };
+  struct SendWaiter {
+    size_t replica = 0;
+    LipId lip = kNoLip;
+    ThreadId thread = 0;
+    std::string* slot = nullptr;  // The parked message (awaitable frame).
+    // Nonzero for a replayed thread's first re-park: the grant ordinal after
+    // its last journaled credit wait (sender-FIFO position reconstruction).
+    uint64_t resume_grant = 0;
+  };
   struct ChannelState {
     bool registered = false;
     size_t home = 0;
@@ -169,8 +252,32 @@ class IpcFabric : public ChannelFabric {
     uint64_t next_recv_ordinal = 0;
     uint64_t dropped = 0;
     Status last_error;
+    // Flow control (capacity 0 = unbounded).
+    uint64_t capacity = 0;
+    int64_t credits = 0;
+    std::deque<SendWaiter> send_waiters;  // FIFO by park.
+    uint64_t next_grant_ordinal = 0;
+    size_t queue_peak = 0;
+    bool deadlocked = false;
+    bool granting = false;  // Re-entrancy guard for DrainSenders.
   };
 
+  // Channel accessor that applies options_.channel_credits on creation.
+  ChannelState& Chan(const std::string& name);
+  // Consumes a credit, queues the message, and routes it. The single
+  // acceptance point for both immediate and granted sends.
+  void Accept(size_t replica, const std::string& name, ChannelState& ch,
+              std::string bytes);
+  // Returns one credit (delivery or drop) and grants parked senders.
+  void Refund(const std::string& name, ChannelState& ch);
+  // Grants freed credits to parked senders, FIFO, skipping dead ones.
+  void DrainSenders(const std::string& name, ChannelState& ch);
+  // Walks the endpoint wait-for graph from `ch`'s parked senders; on a
+  // cycle, flags every participating channel kDeadlock.
+  void CheckDeadlock(const std::string& name, ChannelState& ch);
+  // Marks a message arrived at the home, applying any slow-consumer stall.
+  void MakeAvailable(const std::string& name, ChannelState& ch, Message& msg);
+  bool Deliverable(const Message& msg) const;
   // Registers/re-homes the channel endpoint and re-routes queued messages.
   void Register(const std::string& name, ChannelState& ch, size_t replica,
                 LipId lip);

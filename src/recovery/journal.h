@@ -34,6 +34,14 @@
 //                message already reached (or is queued for) the peer, and
 //                re-sending would duplicate it. Standalone replay has no
 //                kSend entries and re-sends through real channels.
+//   * IPC credit wait — fabric mode only: when a send blocked on channel
+//                credits, an entry (channel + grant ordinal) is appended at
+//                the moment the fabric granted the credit, immediately
+//                before the kSend entry. Replay consumes the pair without
+//                re-parking; the grant ordinal re-parks any FOLLOWING live
+//                blocked send at its original position in the channel's
+//                sender FIFO, so blocked-sender wakeup order is bit-identical
+//                (the same discipline as kRecv resume ordinals).
 //   * RNG      — replayed by reseeding: the journal stores the LIP's rng
 //                seed and the program re-draws the identical stream, so
 //                individual draws need no log entries.
@@ -104,7 +112,7 @@ inline const char* RecoveryModeName(RecoveryMode mode) {
 }
 
 struct JournalEntry {
-  enum class Kind : uint8_t { kPred, kTool, kSleep, kRecv, kSend };
+  enum class Kind : uint8_t { kPred, kTool, kSleep, kRecv, kSend, kCreditWait };
   Kind kind = Kind::kPred;
   Status status;  // Completion status (pred and tool entries).
 
@@ -121,9 +129,12 @@ struct JournalEntry {
   // kSleep: requested duration (alignment check only; replay skips it).
   SimDuration duration = 0;
 
-  // kRecv/kSend: the channel name; kRecv additionally records the channel's
+  // kRecv/kSend/kCreditWait: the channel name. kRecv records the channel's
   // delivery ordinal at the time (observability — the fabric's counters are
-  // not rewound by replay, so the ordinal is never divergence-checked).
+  // not rewound by replay, so the ordinal is never divergence-checked);
+  // kCreditWait records the channel's credit GRANT ordinal, which replay
+  // uses to re-park subsequent live blocked sends at their original FIFO
+  // position.
   std::string channel;
   uint64_t ordinal = 0;
 };

@@ -255,8 +255,43 @@ class LipContext {
 
   // ---- IPC ---------------------------------------------------------------
 
-  void send(const std::string& channel, std::string message) {
-    runtime_->ChannelSend(channel, std::move(message));
+  // send is a (potentially) blocking syscall: on a credit-bounded fabric
+  // channel with no credits left the sender parks FIFO until the consumer
+  // frees one (backpressure). await_ready completes the common case — an
+  // unbounded channel, an available credit, a legacy in-runtime channel, or
+  // a replay-suppressed send — without suspending, so existing workloads'
+  // timing is unchanged. Dropping the awaitable without co_await silently
+  // skips the send, hence [[nodiscard]] on the factory below.
+  //
+  // Toolchain caveat (applies to every awaitable here): GCC 12 double-
+  // destroys conditional-operator temporaries inside a co_await operand, so
+  // write `std::string m = c ? a : b; co_await ctx.send(ch, std::move(m));`
+  // rather than passing the ternary directly.
+  class SendAwaitable {
+   public:
+    SendAwaitable(LipRuntime* runtime, std::string channel, std::string message)
+        : runtime_(runtime),
+          channel_(std::move(channel)),
+          message_(std::move(message)) {}
+    bool await_ready() {
+      return runtime_->ChannelTrySend(channel_, &message_);
+    }
+    void await_suspend(std::coroutine_handle<> frame) {
+      runtime_->SetResumePoint(frame);
+      runtime_->BlockCurrent();
+      runtime_->ChannelAddSendWaiter(channel_, runtime_->current_thread(),
+                                     &message_);
+    }
+    void await_resume() {}
+
+   private:
+    LipRuntime* runtime_;
+    std::string channel_;
+    std::string message_;
+  };
+
+  [[nodiscard]] SendAwaitable send(std::string channel, std::string message) {
+    return SendAwaitable(runtime_, std::move(channel), std::move(message));
   }
 
   class RecvAwaitable {

@@ -787,8 +787,8 @@ void LipRuntime::AddJoinAllWaiter(LipId lip, ThreadId waiter) {
   }
 }
 
-void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
-  ++stats_.ipc_messages;
+bool LipRuntime::ChannelTrySend(const std::string& channel,
+                                std::string* message) {
   if (fabric_ != nullptr) {
     LipId sender = kNoLip;
     if (current_ != 0) {
@@ -797,40 +797,126 @@ void LipRuntime::ChannelSend(const std::string& channel, std::string message) {
       Process& proc = GetProcess(tcb.lip);
       if (proc.replay != nullptr && !proc.replay->complete) {
         const JournalEntry* entry = NextReplayEntry(proc, tcb);
+        if (entry != nullptr &&
+            entry->kind == JournalEntry::Kind::kCreditWait &&
+            entry->channel == channel) {
+          // The original send parked for a credit granted at this ordinal.
+          // Remember it so this thread's first LIVE blocked send re-parks at
+          // its original sender-FIFO position, then consume the kSend that
+          // the grant completed (next entry, same syscall).
+          tcb.replay_send_resume[channel] = entry->ordinal + 1;
+          ++stats_.ipc_credit_waits_replayed;
+          ConsumeReplayEntry(proc, tcb);
+          entry = NextReplayEntry(proc, tcb);
+        }
         if (entry != nullptr) {
           if (entry->kind == JournalEntry::Kind::kSend &&
-              entry->channel == channel && entry->payload == message) {
+              entry->channel == channel && entry->payload == *message) {
             // The original send already reached (or is queued for) the peer;
-            // re-sending would duplicate it at a live endpoint.
+            // re-sending would duplicate it at a live endpoint. No credit is
+            // consumed: the original message's credit travels with it.
             ++stats_.ipc_sends_suppressed;
+            ++stats_.ipc_messages;
             ConsumeReplayEntry(proc, tcb);
-            return;
+            return true;
           }
           ReplayDiverged(proc, "send disagrees with journal");
           // Fall through live: the message is new as far as anyone knows.
         }
       }
-      if (proc.journal != nullptr) {
+    }
+    // TrySend consumes *message on success, so capture the payload for the
+    // journal first (the original code paid the same copy).
+    std::string payload;
+    bool journal = false;
+    if (current_ != 0 && GetProcess(GetTcb(current_).lip).journal != nullptr) {
+      journal = true;
+      payload = *message;
+    }
+    if (!fabric_->TrySend(replica_index_, sender, channel, message)) {
+      return false;  // Out of credits: park; journaling happens at grant.
+    }
+    ++stats_.ipc_messages;
+    if (current_ != 0) {
+      // Re-fetch: TrySend can drain deliveries that touch thread state.
+      Tcb& tcb = GetTcb(current_);
+      tcb.replay_send_resume.erase(channel);  // Completed live: hint stale.
+      if (journal) {
         JournalEntry entry;
         entry.kind = JournalEntry::Kind::kSend;
         entry.channel = channel;
-        entry.payload = message;
-        proc.journal->Append(tcb.path, std::move(entry));
+        entry.payload = std::move(payload);
+        GetProcess(tcb.lip).journal->Append(tcb.path, std::move(entry));
       }
     }
-    fabric_->Send(replica_index_, sender, channel, std::move(message));
-    return;
+    return true;
   }
+  ++stats_.ipc_messages;
   Channel& ch = channels_[channel];
   if (!ch.waiters.empty()) {
     auto [waiter, slot] = ch.waiters.front();
     ch.waiters.pop_front();
-    *slot = std::move(message);
+    *slot = std::move(*message);
     JournalRecvDelivery(waiter, channel, ch.next_ordinal++, *slot);
     Ready(waiter);
-    return;
+    return true;
   }
-  ch.messages.push_back(std::move(message));
+  ch.messages.push_back(std::move(*message));
+  return true;
+}
+
+void LipRuntime::ChannelAddSendWaiter(const std::string& channel,
+                                      ThreadId waiter, std::string* slot) {
+  ++stats_.ipc_sends_blocked;
+  LipId sender = kNoLip;
+  uint64_t resume_grant = 0;
+  if (current_ != 0) {
+    Tcb& tcb = GetTcb(waiter);
+    sender = tcb.lip;
+    auto hint = tcb.replay_send_resume.find(channel);
+    if (hint != tcb.replay_send_resume.end()) {
+      resume_grant = hint->second;  // One-shot: first re-park only.
+      tcb.replay_send_resume.erase(hint);
+    }
+  }
+  fabric_->AddSendWaiter(replica_index_, sender, channel, waiter, slot,
+                         resume_grant);
+}
+
+bool LipRuntime::CompleteBlockedSend(ThreadId thread, std::string* slot,
+                                     const std::string& channel,
+                                     uint64_t grant_ordinal,
+                                     std::string* bytes) {
+  if (halted_) {
+    return false;
+  }
+  auto it = threads_.find(thread);
+  if (it == threads_.end() || it->second.state == ThreadState::kKilled ||
+      it->second.state == ThreadState::kDone) {
+    return false;
+  }
+  Tcb& tcb = it->second;
+  Process& proc = GetProcess(tcb.lip);
+  if (proc.journal != nullptr) {
+    // Journal grant + send in consumption order, at the syscall boundary:
+    // replay consumes the kCreditWait (re-park hint) then the kSend
+    // (suppressed) without ever touching the live fabric.
+    JournalEntry wait;
+    wait.kind = JournalEntry::Kind::kCreditWait;
+    wait.channel = channel;
+    wait.ordinal = grant_ordinal;
+    proc.journal->Append(tcb.path, std::move(wait));
+    JournalEntry send;
+    send.kind = JournalEntry::Kind::kSend;
+    send.channel = channel;
+    send.payload = *slot;
+    proc.journal->Append(tcb.path, std::move(send));
+  }
+  ++stats_.ipc_messages;
+  ++stats_.ipc_credit_grants;
+  *bytes = std::move(*slot);
+  Ready(thread);
+  return true;
 }
 
 bool LipRuntime::ChannelTryRecv(const std::string& channel, std::string* message) {

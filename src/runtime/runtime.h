@@ -46,11 +46,26 @@ using LipProgram = std::function<Task(LipContext&)>;
 class ChannelFabric {
  public:
   virtual ~ChannelFabric() = default;
-  // Accepts a message from `sender` on `replica`. Fire-and-forget: delivery
-  // failures (partition past the deadline) surface through channel state and
-  // counters, never to the sender.
-  virtual void Send(size_t replica, LipId sender, const std::string& channel,
-                    std::string message) = 0;
+  // Attempts to accept a message from `sender` on `replica`. Returns true
+  // and consumes *message when the channel has a credit (or is unbounded);
+  // returns false — leaving *message intact — when the channel is out of
+  // credits or other senders are already parked (FIFO: a fresh send never
+  // overtakes them), in which case the caller parks via AddSendWaiter.
+  // Delivery failures after acceptance (partition past the deadline) surface
+  // through channel state and counters, never to the sender.
+  virtual bool TrySend(size_t replica, LipId sender, const std::string& channel,
+                       std::string* message) = 0;
+  // Parks `waiter` (FIFO among blocked senders) until a credit frees, at
+  // which point the fabric calls LipRuntime::CompleteBlockedSend to take the
+  // message out of `slot`. `resume_grant` is 0 for a live park; a replayed
+  // thread whose last journal-served credit wait on this channel had grant
+  // ordinal g passes g+1 and the fabric slots it among its LIP's parked
+  // senders in grant order — the sender-side mirror of AddWaiter's
+  // resume_ordinal, reconstructing the original run's sender FIFO so
+  // blocked-sender wakeup order stays bit-identical.
+  virtual void AddSendWaiter(size_t replica, LipId sender,
+                             const std::string& channel, ThreadId waiter,
+                             std::string* slot, uint64_t resume_grant) = 0;
   // Non-blocking receive by `receiver` on `replica`; registers (or re-homes)
   // the channel's endpoint. On success fills `message` and the delivery
   // `ordinal`.
@@ -67,8 +82,9 @@ class ChannelFabric {
   virtual void AddWaiter(size_t replica, LipId receiver,
                          const std::string& channel, ThreadId waiter,
                          std::string* slot, uint64_t resume_ordinal) = 0;
-  // Scrubs pending waits of one detached LIP / a whole halted replica so a
-  // later send is not swallowed by a dead consumer.
+  // Scrubs pending waits (receivers AND parked senders) of one detached LIP
+  // / a whole halted replica so a later send is not swallowed by a dead
+  // consumer and a freed credit is not granted to a dead sender.
   virtual void DropWaiters(size_t replica, LipId lip) = 0;
   virtual void DropReplicaWaiters(size_t replica) = 0;
 };
@@ -118,6 +134,12 @@ struct RuntimeStats {
   // suppressed re-sends whose original delivery already happened.
   uint64_t ipc_recvs_replayed = 0;
   uint64_t ipc_sends_suppressed = 0;
+  // Credit flow control: sends that parked for a credit / blocked sends
+  // granted (journaled kCreditWait entries) / credit waits consumed from the
+  // journal during replay.
+  uint64_t ipc_sends_blocked = 0;
+  uint64_t ipc_credit_grants = 0;
+  uint64_t ipc_credit_waits_replayed = 0;
   // Recovery (src/recovery): syscalls answered from a journal during replay.
   uint64_t lips_replayed = 0;
   uint64_t preds_replayed = 0;
@@ -268,10 +290,22 @@ class LipRuntime {
   void AddJoiner(ThreadId target, ThreadId waiter);
   void AddJoinAllWaiter(LipId lip, ThreadId waiter);
 
-  // IPC channels (named, unbounded, FIFO). With a fabric attached these
-  // delegate cluster-wide (see ChannelFabric above); otherwise they are the
-  // legacy in-runtime channels.
-  void ChannelSend(const std::string& channel, std::string message);
+  // IPC channels (named, FIFO; bounded by credits when a fabric is attached
+  // and configured). With a fabric attached these delegate cluster-wide (see
+  // ChannelFabric above); otherwise they are the legacy in-runtime channels
+  // (always unbounded — TrySend never fails).
+  //
+  // ChannelTrySend returns true when the send completed (accepted by the
+  // fabric, handed to a legacy waiter, queued, or suppressed by replay) and
+  // false when the channel is out of credits: *message is left intact and
+  // the caller must park via ChannelAddSendWaiter (the send awaitable's
+  // await_suspend). Journaling of a blocked send happens at grant time
+  // (CompleteBlockedSend), not at park time, so the journal records only
+  // COMPLETED syscalls — a sender killed while parked re-runs the send live
+  // on replay, re-parking at its original sender-FIFO position.
+  bool ChannelTrySend(const std::string& channel, std::string* message);
+  void ChannelAddSendWaiter(const std::string& channel, ThreadId waiter,
+                            std::string* slot);
   bool ChannelTryRecv(const std::string& channel, std::string* message);
   void ChannelAddWaiter(const std::string& channel, ThreadId waiter,
                         std::string* slot);
@@ -283,6 +317,16 @@ class LipRuntime {
   bool DeliverToWaiter(ThreadId thread, std::string* slot,
                        const std::string& channel, uint64_t ordinal,
                        const std::string& message);
+
+  // Fabric grant of a credit to a blocked send: journals the credit wait
+  // (JournalEntry::kCreditWait with the channel's grant ordinal) followed by
+  // the send itself, moves the parked message out of `slot` into *bytes, and
+  // wakes the thread. Returns false — leaving the credit and the grant
+  // ordinal unconsumed — when the runtime is halted or the thread is
+  // killed/done, so the fabric skips to the next parked sender.
+  bool CompleteBlockedSend(ThreadId thread, std::string* slot,
+                           const std::string& channel, uint64_t grant_ordinal,
+                           std::string* bytes);
 
   void Emit(LipId lip, std::string_view text);
   Rng& LipRng(LipId lip);
@@ -310,6 +354,10 @@ class LipRuntime {
     // Consumed by this thread's first live recv on the channel (see
     // ChannelFabric::AddWaiter's resume_ordinal).
     std::unordered_map<std::string, uint64_t> replay_recv_resume;
+    // Sender-side mirror: grant ordinal after the last journal-served credit
+    // wait, consumed by this thread's first live blocked send on the channel
+    // (see ChannelFabric::AddSendWaiter's resume_grant).
+    std::unordered_map<std::string, uint64_t> replay_send_resume;
   };
 
   struct Process {

@@ -37,6 +37,11 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   for (size_t i = 0; i < replicas_.size(); ++i) {
     fabric_->AttachReplica(i, &replicas_[i]->runtime());
     replicas_[i]->runtime().set_channel_fabric(fabric_.get(), i);
+    // Credit backpressure feeds admission: parked senders on a replica
+    // inflate its projected queue delay, steering Submit's reroute tier
+    // toward less-congested replicas.
+    replicas_[i]->set_backpressure_hook(
+        [fabric = fabric_.get(), i] { return fabric->BackpressureDelay(i); });
   }
   // Arm the fault plan's replica-kill schedule. Kills route through the
   // normal KillReplica path, so with recovery enabled the victims fail over.
@@ -741,6 +746,8 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
     snap.ipc_recvs_replayed += replica->runtime().stats().ipc_recvs_replayed;
     snap.ipc_sends_suppressed +=
         replica->runtime().stats().ipc_sends_suppressed;
+    snap.ipc_credit_waits_replayed +=
+        replica->runtime().stats().ipc_credit_waits_replayed;
     if (dead_[i]) {
       ++snap.replicas_dead;
     }
@@ -757,6 +764,9 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   snap.ipc_local_deliveries = fabric_->stats().local_deliveries;
   snap.ipc_partition_retries = fabric_->stats().partition_retries;
   snap.ipc_rehomes = fabric_->stats().rehomes;
+  snap.ipc_credit_waits = fabric_->stats().credit_waits;
+  snap.ipc_credit_grants = fabric_->stats().credit_grants;
+  snap.ipc_credit_deadlocks = fabric_->stats().credit_deadlocks;
   snap.failovers = failovers_;
   snap.migrations = migrations_;
   snap.overflow_events = overflow_events_;

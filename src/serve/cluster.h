@@ -248,6 +248,11 @@ class SymphonyCluster {
     uint64_t ipc_rehomes = 0;           // Channel endpoint re-registrations.
     uint64_t ipc_recvs_replayed = 0;    // Recvs served verbatim from journals.
     uint64_t ipc_sends_suppressed = 0;  // Journaled sends not re-sent.
+    // Credit-based flow control (bounded channels).
+    uint64_t ipc_credit_waits = 0;      // Sends parked for lack of credit.
+    uint64_t ipc_credit_grants = 0;     // Parked sends later granted a credit.
+    uint64_t ipc_credit_deadlocks = 0;  // Channels flagged in a wait cycle.
+    uint64_t ipc_credit_waits_replayed = 0;  // Waits consumed from journals.
     std::vector<IpcReplicaStats> ipc_per_replica;
     SnapshotStoreStats store;
   };

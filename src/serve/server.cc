@@ -371,8 +371,13 @@ SimDuration SymphonyServer::ProjectedQueueDelay(size_t depth) const {
           ? service_ewma_s_
           : ToSeconds(options_.admission.initial_service_estimate);
   uint32_t slots = std::max<uint32_t>(options_.admission.max_live_lips, 1);
-  return DurationFromSeconds(service_s * static_cast<double>(depth + 1) /
-                             static_cast<double>(slots));
+  SimDuration projected =
+      DurationFromSeconds(service_s * static_cast<double>(depth + 1) /
+                          static_cast<double>(slots));
+  if (backpressure_hook_) {
+    projected += backpressure_hook_();
+  }
+  return projected;
 }
 
 size_t SymphonyServer::admission_queue_depth() const {

@@ -169,6 +169,15 @@ class SymphonyServer {
   // are shed at dequeue (their on_exit never fires).
   AdmitResult Submit(LaunchSpec spec);
 
+  // Extra delay folded into ProjectedQueueDelay (deadline-aware rejection
+  // and retry_after hints). The cluster wires this to the IPC fabric's
+  // credit backpressure (IpcFabric::BackpressureDelay): a replica whose
+  // senders are parked for credits advertises longer projected waits, so
+  // Submit's reroute tier steers new work to less-congested replicas.
+  void set_backpressure_hook(std::function<SimDuration()> hook) {
+    backpressure_hook_ = std::move(hook);
+  }
+
   // Materializes a cluster-shared KV snapshot as a named file on this
   // replica (cross-replica prefix warming, src/store). Pages land on the
   // host tier; the first pred that reads the file pays PCIe, not prefill.
@@ -252,6 +261,7 @@ class SymphonyServer {
   uint32_t live_admitted_ = 0;
   double service_ewma_s_ = 0.0;  // 0 = no completions yet; use the prior.
   AdmissionStats admission_stats_;
+  std::function<SimDuration()> backpressure_hook_;
 };
 
 }  // namespace symphony

@@ -200,7 +200,7 @@ TEST(IntegrationTest, ConcurrentSharedFileModificationDetected) {
   server.Launch("owner", [&](LipContext& ctx) -> Task {
     KvHandle kv = *ctx.kv_create("/shared/ctx", kModePublic);
     (void)co_await ctx.pred_tokens(kv, 260, 261);
-    ctx.send("ready", "go");
+    co_await ctx.send("ready", "go");
     // Submit a pred, and while it is queued/executing the intruder appends.
     StatusOr<std::vector<Distribution>> d = co_await ctx.pred1(kv, 262);
     slow_status = d.status();

@@ -7,6 +7,13 @@
 // without loss, partition deadlines drop with kUnavailable surfaced, FIFO
 // fairness for multi-waiter recv (including under replay), and the
 // local-vs-cross delivery counters.
+//
+// Credit-based flow control (ISSUE 7): queue depth never exceeds the credit
+// limit under random kill/migrate of either endpoint; blocked-sender wakeup
+// order is bit-identical under replay (journaled kCreditWait grants); 2- and
+// 3-cycle credit-wait deadlocks are flagged with kDeadlock instead of
+// hanging; FaultPlan slow-consumer windows stall deliveries and propagate
+// backpressure to producers.
 #include <gtest/gtest.h>
 
 #include <cstdlib>
@@ -38,7 +45,7 @@ LipProgram PairProducer() {
     }
     TokenId t = d->back().Sample(ctx.uniform(), 0.8);
     for (int i = 0; i < kPairMsgs; ++i) {
-      ctx.send("pair", "m" + std::to_string(t) + "." + std::to_string(i));
+      co_await ctx.send("pair", "m" + std::to_string(t) + "." + std::to_string(i));
       ctx.emit("s" + std::to_string(t) + "." + std::to_string(i) + ";");
       co_await ctx.sleep(Millis(1));
       StatusOr<std::vector<Distribution>> n = co_await ctx.pred1(kv, t);
@@ -287,7 +294,7 @@ LipProgram FanInConsumer(int workers, int per_worker) {
           }
           std::string tagged = "w" + std::to_string(w) + ":" + *msg;
           tctx.emit(tagged + ";");
-          tctx.send("out", std::move(tagged));
+          co_await tctx.send("out", std::move(tagged));
         }
         co_return;
       }));
@@ -316,7 +323,7 @@ LipProgram FanOutProducer(int msgs) {
   return [msgs](LipContext& ctx) -> Task {
     co_await ctx.sleep(Millis(1));  // Let every waiter park first.
     for (int i = 0; i < msgs; ++i) {
-      ctx.send("fan", "m" + std::to_string(i));
+      co_await ctx.send("fan", "m" + std::to_string(i));
       co_await ctx.sleep(Micros(200));
     }
     co_return;
@@ -459,6 +466,346 @@ TEST(NetTest, CountersDistinguishLocalFromCrossDeliveries) {
     }
     EXPECT_EQ(link_transfers, static_cast<uint64_t>(kPairMsgs));
   }
+}
+
+// ---- Credit-based flow control (ISSUE 7) -------------------------------
+
+constexpr int kCreditMsgs = 12;
+
+// Floods the bounded channel with no pacing: with k credits and a slower
+// consumer, the producer MUST park (credit_waits > 0) for the run to finish.
+LipProgram CreditProducer(int msgs) {
+  return [msgs](LipContext& ctx) -> Task {
+    for (int i = 0; i < msgs; ++i) {
+      co_await ctx.send("credit", "m" + std::to_string(i));
+      ctx.emit("s" + std::to_string(i) + ";");
+    }
+    co_return;
+  };
+}
+
+LipProgram CreditConsumer(int msgs) {
+  return [msgs](LipContext& ctx) -> Task {
+    for (int i = 0; i < msgs; ++i) {
+      StatusOr<std::string> msg = co_await ctx.recv("credit");
+      if (!msg.ok()) {
+        co_return;
+      }
+      ctx.emit(*msg + ";");
+      co_await ctx.sleep(Micros(300));  // Slower than the producer floods.
+    }
+    co_return;
+  };
+}
+
+struct CreditRun {
+  std::string producer_out;
+  std::string consumer_out;
+  uint64_t queue_peak = 0;
+  bool deadlocked = false;
+  SimTime finish = 0;
+  SymphonyCluster::ClusterSnapshot snap;
+};
+
+CreditRun RunCreditPair(uint64_t seed, uint64_t credits, PairFault fault,
+                        SimTime at) {
+  Simulator sim;
+  ClusterOptions options = SplitPairOptions(seed);
+  options.ipc.channel_credits = credits;
+  SymphonyCluster cluster(&sim, options);
+  SymphonyCluster::ClusterLip cons =
+      cluster.Launch("consumer", "", CreditConsumer(kCreditMsgs));
+  SymphonyCluster::ClusterLip prod =
+      cluster.Launch("producer", "", CreditProducer(kCreditMsgs));
+  EXPECT_NE(cons.replica, prod.replica);
+  if (fault != PairFault::kNone) {
+    sim.ScheduleAt(at, [&cluster, cons, prod, fault] {
+      SymphonyCluster::ClusterLip victim =
+          (fault == PairFault::kKillProducerReplica ||
+           fault == PairFault::kMigrateProducer)
+              ? prod
+              : cons;
+      SymphonyCluster::ClusterLip where = cluster.Locate(victim);
+      if (fault == PairFault::kKillProducerReplica ||
+          fault == PairFault::kKillConsumerReplica) {
+        (void)cluster.KillReplica(where.replica);
+      } else {
+        (void)cluster.Migrate(where, (where.replica + 1) % 3);
+      }
+    });
+  }
+  sim.Run();
+  EXPECT_TRUE(cluster.Done(prod));
+  EXPECT_TRUE(cluster.Done(cons));
+  CreditRun run;
+  run.producer_out = cluster.Output(prod);
+  run.consumer_out = cluster.Output(cons);
+  ChannelView view = cluster.fabric().View("credit");
+  run.queue_peak = view.queue_peak;
+  run.deadlocked = view.deadlocked;
+  run.finish = sim.now();
+  run.snap = cluster.Snapshot();
+  EXPECT_EQ(run.snap.replay_divergences, 0u);
+  EXPECT_EQ(run.snap.ipc_dropped, 0u);
+  return run;
+}
+
+class CreditBoundPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+// The acceptance property: with k credits the channel NEVER holds more than
+// k undelivered messages — even while a seed-derived random kill/migrate of
+// either endpoint is replayed — and delivery stays complete, in-order, and
+// bit-identical to the fault-free run.
+TEST_P(CreditBoundPropertyTest, QueueDepthNeverExceedsCreditsUnderFaults) {
+  uint64_t seed = GetParam();
+  for (uint64_t k : {uint64_t{1}, uint64_t{2}, uint64_t{3}}) {
+    CreditRun baseline = RunCreditPair(seed, k, PairFault::kNone, 0);
+    ASSERT_FALSE(baseline.consumer_out.empty());
+    EXPECT_GT(baseline.snap.ipc_credit_waits, 0u)
+        << "seed=" << seed << " k=" << k << ": flood never parked";
+    EXPECT_LE(baseline.queue_peak, k) << "seed=" << seed << " k=" << k;
+    Rng rng(seed ^ (0xC4ED17ULL + k));
+    constexpr PairFault kFaults[] = {
+        PairFault::kKillProducerReplica, PairFault::kKillConsumerReplica,
+        PairFault::kMigrateProducer, PairFault::kMigrateConsumer};
+    PairFault fault = kFaults[rng.NextBounded(4)];
+    double frac = 0.1 + 0.7 * rng.NextDouble();
+    SimTime at =
+        static_cast<SimTime>(frac * static_cast<double>(baseline.finish));
+    CreditRun faulted = RunCreditPair(seed, k, fault, at);
+    EXPECT_LE(faulted.queue_peak, k)
+        << "seed=" << seed << " k=" << k << " fault=" << static_cast<int>(fault)
+        << " frac=" << frac;
+    EXPECT_EQ(faulted.producer_out, baseline.producer_out)
+        << "seed=" << seed << " k=" << k << " fault=" << static_cast<int>(fault);
+    EXPECT_EQ(faulted.consumer_out, baseline.consumer_out)
+        << "seed=" << seed << " k=" << k << " fault=" << static_cast<int>(fault);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, CreditBoundPropertyTest,
+                         ::testing::ValuesIn(StressSeeds(
+                             {401, 402, 403, 404, 405, 406}, 0xC4E)));
+
+// One producer LIP with three sender threads contending for a 1-credit
+// channel: grants wake parked senders strictly FIFO, and a journaled grant
+// ordinal (kCreditWait) re-parks each replayed blocked send at the exact
+// position it held — so the consumer's received sequence is bit-identical
+// when the producer's replica is killed mid-contention.
+TEST(NetTest, BlockedSenderWakeupOrderBitIdenticalUnderReplay) {
+  constexpr int kSenders = 3;
+  constexpr int kPerSender = 3;
+  constexpr int kTotal = kSenders * kPerSender;
+  auto producer = []() -> LipProgram {
+    return [](LipContext& ctx) -> Task {
+      std::vector<ThreadId> spawned;
+      for (int w = 0; w < kSenders; ++w) {
+        spawned.push_back(ctx.spawn([w](LipContext& tctx) -> Task {
+          for (int i = 0; i < kPerSender; ++i) {
+            co_await tctx.send(
+                "credit", "t" + std::to_string(w) + "." + std::to_string(i));
+          }
+          co_return;
+        }));
+      }
+      for (ThreadId t : spawned) {
+        co_await ctx.join(t);
+      }
+      co_return;
+    };
+  };
+  auto run = [&](std::optional<SimTime> kill_producer_at) {
+    Simulator sim;
+    ClusterOptions options = SplitPairOptions(37);
+    options.ipc.channel_credits = 1;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip cons =
+        cluster.Launch("consumer", "", CreditConsumer(kTotal));
+    SymphonyCluster::ClusterLip prod =
+        cluster.Launch("producer", "", producer());
+    if (kill_producer_at.has_value()) {
+      sim.ScheduleAt(*kill_producer_at, [&cluster, prod] {
+        (void)cluster.KillReplica(cluster.Locate(prod).replica);
+      });
+    }
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(cons));
+    EXPECT_TRUE(cluster.Done(prod));
+    SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+    EXPECT_EQ(snap.replay_divergences, 0u);
+    return std::make_pair(cluster.Output(cons), snap);
+  };
+  auto [baseline_out, baseline_snap] = run(std::nullopt);
+  ASSERT_FALSE(baseline_out.empty());
+  EXPECT_GT(baseline_snap.ipc_credit_waits, 0u);
+  EXPECT_GT(baseline_snap.ipc_credit_grants, 0u);
+  // Kill mid-contention: some grants are already journaled (replayed as
+  // kCreditWait entries), the rest of the flood re-parks live in order.
+  auto [killed_out, killed_snap] = run(Millis(1));
+  EXPECT_EQ(killed_out, baseline_out);
+  EXPECT_GT(killed_snap.ipc_credit_waits_replayed, 0u);
+}
+
+// ---- Deadlock detection ------------------------------------------------
+
+// After a handshake that pins both channel homes, each peer floods its
+// outbound channel one message past the credit limit without ever receiving
+// again: both park, the wait-for graph closes, and the fabric must FLAG the
+// cycle (kDeadlock on both channels) instead of hanging.
+LipProgram DeadlockPeer(std::string out, std::string in, bool leader,
+                        int flood) {
+  return [out = std::move(out), in = std::move(in), leader,
+          flood](LipContext& ctx) -> Task {
+    if (leader) {
+      co_await ctx.send(out, "hs");
+      StatusOr<std::string> hs = co_await ctx.recv(in);
+      if (!hs.ok()) {
+        co_return;
+      }
+    } else {
+      StatusOr<std::string> hs = co_await ctx.recv(in);
+      if (!hs.ok()) {
+        co_return;
+      }
+      co_await ctx.send(out, "hs");
+    }
+    for (int i = 0; i < flood; ++i) {
+      co_await ctx.send(out, "f" + std::to_string(i));
+    }
+    ctx.emit("done");  // Unreachable when the flood exceeds the credits.
+    co_return;
+  };
+}
+
+TEST(NetTest, TwoCycleCreditDeadlockIsDetectedNotHung) {
+  constexpr uint64_t kCredits = 2;
+  Simulator sim;
+  ClusterOptions options = SplitPairOptions(41);
+  options.replicas = 2;
+  options.ipc.channel_credits = kCredits;
+  SymphonyCluster cluster(&sim, options);
+  SymphonyCluster::ClusterLip a = cluster.Launch(
+      "peer-a", "", DeadlockPeer("a2b", "b2a", true, kCredits + 1));
+  SymphonyCluster::ClusterLip b = cluster.Launch(
+      "peer-b", "", DeadlockPeer("b2a", "a2b", false, kCredits + 1));
+  EXPECT_NE(a.replica, b.replica);
+  sim.Run();  // Terminates: parked senders schedule no events.
+  EXPECT_FALSE(cluster.Done(a));
+  EXPECT_FALSE(cluster.Done(b));
+  EXPECT_TRUE(cluster.Output(a).empty());
+  EXPECT_TRUE(cluster.Output(b).empty());
+  for (const char* name : {"a2b", "b2a"}) {
+    ChannelView view = cluster.fabric().View(name);
+    EXPECT_TRUE(view.deadlocked) << name;
+    EXPECT_EQ(view.last_error.code(), StatusCode::kDeadlock) << name;
+    EXPECT_EQ(view.capacity, kCredits) << name;
+    EXPECT_EQ(view.credits, 0) << name;
+    EXPECT_EQ(view.send_waiters, 1u) << name;
+    EXPECT_LE(view.queue_peak, kCredits) << name;
+  }
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.ipc_credit_deadlocks, 2u);
+  EXPECT_GE(snap.ipc_credit_waits, 2u);
+  // Parked senders advertise admission backpressure on both replicas.
+  EXPECT_GT(cluster.fabric().BackpressureDelay(a.replica), 0);
+  EXPECT_GT(cluster.fabric().BackpressureDelay(b.replica), 0);
+}
+
+TEST(NetTest, ThreeCycleCreditDeadlockIsDetectedNotHung) {
+  constexpr uint64_t kCredits = 1;
+  Simulator sim;
+  ClusterOptions options = SplitPairOptions(43);
+  options.ipc.channel_credits = kCredits;
+  SymphonyCluster cluster(&sim, options);
+  // Ring handshake pins homes: ab -> B's replica, bc -> C's, ca -> A's.
+  SymphonyCluster::ClusterLip a =
+      cluster.Launch("peer-a", "", DeadlockPeer("ab", "ca", true, kCredits + 1));
+  SymphonyCluster::ClusterLip b = cluster.Launch(
+      "peer-b", "", DeadlockPeer("bc", "ab", false, kCredits + 1));
+  SymphonyCluster::ClusterLip c = cluster.Launch(
+      "peer-c", "", DeadlockPeer("ca", "bc", false, kCredits + 1));
+  EXPECT_NE(a.replica, b.replica);
+  EXPECT_NE(b.replica, c.replica);
+  sim.Run();
+  EXPECT_FALSE(cluster.Done(a));
+  EXPECT_FALSE(cluster.Done(b));
+  EXPECT_FALSE(cluster.Done(c));
+  for (const char* name : {"ab", "bc", "ca"}) {
+    ChannelView view = cluster.fabric().View(name);
+    EXPECT_TRUE(view.deadlocked) << name;
+    EXPECT_EQ(view.last_error.code(), StatusCode::kDeadlock) << name;
+  }
+  EXPECT_EQ(cluster.Snapshot().ipc_credit_deadlocks, 3u);
+}
+
+// A pair that DRAINS (no cycle) must never be flagged: backpressure alone is
+// not deadlock.
+TEST(NetTest, BoundedButDrainingChannelIsNotFlaggedDeadlocked) {
+  CreditRun run = RunCreditPair(47, 1, PairFault::kNone, 0);
+  EXPECT_GT(run.snap.ipc_credit_waits, 0u);
+  EXPECT_EQ(run.snap.ipc_credit_deadlocks, 0u);
+  EXPECT_FALSE(run.deadlocked);
+}
+
+// ---- Slow-consumer windows ---------------------------------------------
+
+// A FaultPlan slow-consumer window stalls every delivery to the home
+// replica; with bounded credits the stall propagates to the producer as
+// parking, and the run completes later but byte-identically.
+TEST(NetTest, SlowConsumerWindowStallsDeliveriesAndParksSenders) {
+  auto run = [](FaultPlan* plan, uint64_t credits) {
+    Simulator sim;
+    ClusterOptions options = SplitPairOptions(53);
+    options.server.fault_plan = plan;
+    options.ipc.channel_credits = credits;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip cons =
+        cluster.Launch("consumer", "", CreditConsumer(kCreditMsgs));
+    SymphonyCluster::ClusterLip prod =
+        cluster.Launch("producer", "", CreditProducer(kCreditMsgs));
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(prod));
+    EXPECT_TRUE(cluster.Done(cons));
+    CreditRun r;
+    r.consumer_out = cluster.Output(cons);
+    r.queue_peak = cluster.fabric().View("credit").queue_peak;
+    r.finish = sim.now();
+    r.snap = cluster.Snapshot();
+    return r;
+  };
+  CreditRun clean = run(nullptr, 2);
+  ASSERT_FALSE(clean.consumer_out.empty());
+  FaultPlan plan(53);
+  plan.AddSlowConsumer(0, 0, Seconds(60), Micros(500));
+  CreditRun slow = run(&plan, 2);
+  EXPECT_GT(plan.stats().slow_consumer_stalls, 0u);
+  EXPECT_GT(slow.finish, clean.finish);
+  EXPECT_GT(slow.snap.ipc_credit_waits, 0u);
+  EXPECT_LE(slow.queue_peak, 2u);
+  EXPECT_EQ(slow.consumer_out, clean.consumer_out);  // Delayed, not reordered.
+}
+
+// Per-channel override: an unbounded fabric with one channel bounded via
+// SetChannelCredits parks only that channel's senders.
+TEST(NetTest, PerChannelCreditOverrideBoundsOnlyThatChannel) {
+  Simulator sim;
+  ClusterOptions options = SplitPairOptions(59);  // channel_credits = 0.
+  SymphonyCluster cluster(&sim, options);
+  cluster.fabric().SetChannelCredits("credit", 1);
+  SymphonyCluster::ClusterLip cons =
+      cluster.Launch("consumer", "", CreditConsumer(kCreditMsgs));
+  SymphonyCluster::ClusterLip prod =
+      cluster.Launch("producer", "", CreditProducer(kCreditMsgs));
+  sim.Run();
+  EXPECT_TRUE(cluster.Done(prod));
+  EXPECT_TRUE(cluster.Done(cons));
+  ChannelView bounded = cluster.fabric().View("credit");
+  EXPECT_EQ(bounded.capacity, 1u);
+  EXPECT_LE(bounded.queue_peak, 1u);
+  EXPECT_GT(cluster.Snapshot().ipc_credit_waits, 0u);
+  // Raising the bound back to unbounded releases any future backpressure.
+  cluster.fabric().SetChannelCredits("credit", 0);
+  EXPECT_EQ(cluster.fabric().View("credit").capacity, 0u);
 }
 
 }  // namespace

@@ -218,7 +218,7 @@ TEST(RecoveryTest, IpcPairSurvivesReplicaKill) {
     }
     TokenId t = d->back().Argmax();
     for (int i = 0; i < 4; ++i) {
-      ctx.send("pipe", "msg" + std::to_string(t + i));
+      co_await ctx.send("pipe", "msg" + std::to_string(t + i));
       co_await ctx.sleep(Millis(1));
     }
     ctx.emit("sent");

@@ -163,7 +163,7 @@ TEST_F(RuntimeTest, YieldInterleavesThreads) {
 TEST_F(RuntimeTest, ChannelSendThenRecv) {
   std::string got;
   runtime_.Launch("producer", [&](LipContext& ctx) -> Task {
-    ctx.send("chan", "payload");
+    co_await ctx.send("chan", "payload");
     co_return;
   });
   runtime_.Launch("consumer", [&](LipContext& ctx) -> Task {
@@ -184,7 +184,7 @@ TEST_F(RuntimeTest, ChannelRecvBlocksUntilSend) {
   });
   runtime_.Launch("producer", [&](LipContext& ctx) -> Task {
     co_await ctx.sleep(Millis(40));
-    ctx.send("late", "eventually");
+    co_await ctx.send("late", "eventually");
     co_return;
   });
   sim_.Run();
@@ -195,9 +195,9 @@ TEST_F(RuntimeTest, ChannelRecvBlocksUntilSend) {
 TEST_F(RuntimeTest, ChannelFifoAcrossMessages) {
   std::vector<std::string> got;
   runtime_.Launch("producer", [&](LipContext& ctx) -> Task {
-    ctx.send("q", "one");
-    ctx.send("q", "two");
-    ctx.send("q", "three");
+    co_await ctx.send("q", "one");
+    co_await ctx.send("q", "two");
+    co_await ctx.send("q", "three");
     co_return;
   });
   runtime_.Launch("consumer", [&](LipContext& ctx) -> Task {
@@ -295,7 +295,7 @@ TEST_F(RuntimeTest, KvListFiltersByReadability) {
   runtime_.Launch("alice", [&](LipContext& ctx) -> Task {
     (void)ctx.kv_create("/kv/private", kModePrivate);
     (void)ctx.kv_create("/kv/shared", kModeShared);
-    ctx.send("ready", "go");
+    co_await ctx.send("ready", "go");
     alice_sees = ctx.kv_list("/kv/");
     co_return;
   });

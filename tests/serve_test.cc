@@ -198,7 +198,10 @@ TEST(ServerTest, MultiAgentIpcPipeline) {
   std::string writer_saw;
   server.Launch("researcher", [&](LipContext& ctx) -> Task {
     StatusOr<std::string> doc = co_await ctx.call_tool("fetch", "topic");
-    ctx.send("findings", doc.ok() ? *doc : "error");
+    // Named lvalue: GCC 12 double-destroys conditional-operator temporaries
+    // inside a co_await operand (use-after-free in the delivered bytes).
+    std::string findings = doc.ok() ? *doc : "error";
+    co_await ctx.send("findings", std::move(findings));
     co_return;
   });
   server.Launch("writer", [&](LipContext& ctx) -> Task {
