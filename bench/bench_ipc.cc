@@ -21,6 +21,15 @@
 // peak queue depth (the memory proxy), producer completion, delivery
 // goodput, and mean in-queue / end-to-end latency across credit limits.
 //
+// Part 4 (topology): rack locality and shared-uplink congestion. First the
+// raw link graph: one-way / round-trip times intra-rack vs inter-rack on the
+// 2-rack preset, across payload sizes (propagation dominates empty packets,
+// serialization dominates large ones). Then a cluster run on a 2-rack graph
+// with a deliberately thin uplink: a producer streams across the racks while
+// a journal-heavy LIP migrates over the same uplink mid-stream, and the
+// report shows the inter-arrival stall the migration's bytes inflict on
+// concurrent IPC, plus the uplink's own queue-delay counter.
+//
 // Every row is also emitted as a JSON line (prefix "JSON ") for scripting.
 #include <algorithm>
 #include <cstdio>
@@ -353,6 +362,165 @@ void SlowConsumerSweep() {
       "slow consumer: queue growth vs credit backpressure (Llama13B links)");
 }
 
+// ---- Part 4: topology — rack locality and uplink congestion ------------
+
+// Raw link-graph round trips on the 2-rack preset: replicas {0,1} share
+// rack0, {2,3} share rack1. Each measurement uses a fresh topology so idle
+// link state never bleeds between rows; forward and reverse directions are
+// independent wires, so RTT = 2x the one-way arrival.
+void TopologyRttSweep() {
+  CostModel cost(ModelConfig::Llama13B());
+  BenchTable table({"scope", "payload_b", "one_way_us", "rtt_us"});
+  struct Scope {
+    const char* name;
+    size_t from, to;
+  };
+  constexpr Scope kScopes[] = {{"intra-rack", 0, 1}, {"inter-rack", 0, 2}};
+  for (const Scope& scope : kScopes) {
+    for (uint64_t payload : {uint64_t{0}, uint64_t{4096}, uint64_t{1 << 20}}) {
+      Simulator sim;
+      TopologyOptions topt;
+      topt.preset = TopologyOptions::Preset::kTwoRack;
+      topt.replicas = 4;
+      topt.rack_split = 2;
+      NetworkTopology topo(&sim, &cost, nullptr, nullptr, topt);
+      double one_way_us =
+          ToSeconds(topo.Transfer(scope.from, scope.to, payload, "rtt")) * 1e6;
+      double rtt_us = 2.0 * one_way_us;
+      table.AddRow({scope.name, std::to_string(payload), Fmt(one_way_us),
+                    Fmt(rtt_us)});
+      std::printf(
+          "JSON {\"bench\":\"ipc\",\"part\":\"topology_rtt\","
+          "\"scope\":\"%s\",\"payload_bytes\":%llu,\"one_way_us\":%.3f,"
+          "\"rtt_us\":%.3f}\n",
+          scope.name, static_cast<unsigned long long>(payload), one_way_us,
+          rtt_us);
+    }
+  }
+  table.Print("2-rack topology: intra- vs inter-rack transfer (Llama13B)");
+}
+
+// Builds a journal worth shipping: local self-channel traffic with fat
+// payloads (recv replay keeps the bytes), paced so the LIP is still alive
+// when the migration fires.
+constexpr int kBulkMsgs = 64;
+constexpr size_t kBulkPayload = 512;
+
+LipProgram BulkJournalLip() {
+  return [](LipContext& ctx) -> Task {
+    for (int i = 0; i < kBulkMsgs; ++i) {
+      co_await ctx.send("bulk", std::string(kBulkPayload, 'b'));
+      StatusOr<std::string> msg = co_await ctx.recv("bulk");
+      if (!msg.ok()) {
+        co_return;
+      }
+      co_await ctx.sleep(Micros(300));
+    }
+    ctx.emit("bulk-done;");
+    co_return;
+  };
+}
+
+struct CongestionRun {
+  double max_gap_us = 0.0;
+  double finish_ms = 0.0;
+  uint64_t ship_bytes = 0;
+  uint64_t fetched_bytes = 0;
+  double uplink_queue_us = 0.0;
+  std::string log;
+};
+
+// Two replicas on opposite racks joined by a deliberately thin uplink.
+// Stream: producer (replica 1) -> consumer (replica 0), i.e. every message
+// rides the rack1->rack0 uplink direction. The bulk LIP sits on replica 1;
+// migrating it to replica 0 ships its journal over that SAME directed
+// uplink, so the stream queues behind the migration's bytes.
+CongestionRun RunUplinkCongestion(bool migrate_bulk) {
+  Simulator sim;
+  ClusterOptions options;
+  options.replicas = 2;
+  options.routing = RoutingPolicy::kRoundRobin;
+  options.enable_recovery = true;
+  options.topology.preset = TopologyOptions::Preset::kTwoRack;
+  options.topology.rack_split = 1;            // replica0 | replica1.
+  options.topology.uplink_bandwidth = 1e6;    // 1 MB/s: ~1us per byte.
+  SymphonyCluster cluster(&sim, options);
+  std::vector<SimTime> arrivals(kStreamMsgs, 0);
+  // Round-robin placement: consumer->0, producer->1, filler->0, bulk->1.
+  SymphonyCluster::ClusterLip cons =
+      cluster.Launch("consumer", "", StreamConsumer(&arrivals));
+  cluster.Launch("producer", "", StreamProducer());
+  cluster.Launch("filler", "", [](LipContext& ctx) -> Task {
+    (void)ctx;
+    co_return;
+  });
+  SymphonyCluster::ClusterLip bulk =
+      cluster.Launch("bulk", "", BulkJournalLip());
+  if (migrate_bulk) {
+    sim.ScheduleAt(Millis(8), [&cluster, bulk] {
+      SymphonyCluster::ClusterLip where = cluster.Locate(bulk);
+      (void)cluster.Migrate(where, 0);
+    });
+  }
+  sim.Run();
+  CongestionRun run;
+  run.log = cluster.Output(cons);
+  for (size_t i = 1; i < arrivals.size(); ++i) {
+    if (arrivals[i] == 0 || arrivals[i - 1] == 0) {
+      continue;
+    }
+    run.max_gap_us = std::max(
+        run.max_gap_us, ToSeconds(arrivals[i] - arrivals[i - 1]) * 1e6);
+  }
+  run.finish_ms = ToSeconds(sim.now()) * 1e3;
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  run.ship_bytes = snap.ship_bytes;
+  run.fetched_bytes = snap.store.fetched_bytes;
+  for (const TopoLinkReport& link : snap.net_links) {
+    if (link.name == "link:rack1->rack0") {
+      run.uplink_queue_us = ToSeconds(link.stats.queue_delay) * 1e6;
+    }
+  }
+  return run;
+}
+
+void UplinkCongestionSweep() {
+  CongestionRun clean = RunUplinkCongestion(false);
+  CongestionRun congested = RunUplinkCongestion(true);
+  BenchTable table({"scenario", "max_gap_us", "stall_vs_clean_us",
+                    "uplink_queue_us", "ship_bytes", "fetched_bytes",
+                    "bit_identical"});
+  struct Case {
+    const char* name;
+    const CongestionRun* run;
+  };
+  const Case kCases[] = {{"stream-only", &clean},
+                         {"stream+migration", &congested}};
+  for (const Case& c : kCases) {
+    double stall_us = c.run->max_gap_us - clean.max_gap_us;
+    bool identical = c.run->log == clean.log;
+    table.AddRow({c.name, Fmt(c.run->max_gap_us), Fmt(stall_us),
+                  Fmt(c.run->uplink_queue_us),
+                  std::to_string(c.run->ship_bytes),
+                  std::to_string(c.run->fetched_bytes),
+                  identical ? "yes" : "NO"});
+    std::printf(
+        "JSON {\"bench\":\"ipc\",\"part\":\"uplink_congestion\","
+        "\"scenario\":\"%s\",\"max_gap_us\":%.3f,\"stall_vs_clean_us\":%.3f,"
+        "\"uplink_queue_us\":%.3f,\"ship_bytes\":%llu,\"fetched_bytes\":%llu,"
+        "\"bit_identical\":%s}\n",
+        c.name, c.run->max_gap_us, stall_us, c.run->uplink_queue_us,
+        static_cast<unsigned long long>(c.run->ship_bytes),
+        static_cast<unsigned long long>(c.run->fetched_bytes),
+        identical ? "true" : "false");
+  }
+  std::printf(
+      "\n2 racks (replica0 | replica1), uplink 1 MB/s; bulk LIP (%d x %zuB "
+      "journal) migrates across the uplink at t=8ms\n",
+      kBulkMsgs, kBulkPayload);
+  table.Print("shared uplink: migration bytes stall concurrent IPC");
+}
+
 }  // namespace
 }  // namespace symphony
 
@@ -361,5 +529,7 @@ int main() {
   symphony::PingPongSweep();
   symphony::MigrationStallSweep();
   symphony::SlowConsumerSweep();
+  symphony::TopologyRttSweep();
+  symphony::UplinkCongestionSweep();
   return 0;
 }

@@ -77,6 +77,17 @@ bool FaultPlan::Partitioned(size_t from, size_t to, SimTime now) const {
   return false;
 }
 
+bool FaultPlan::LinkDown(const std::string& a, const std::string& b,
+                         SimTime now) const {
+  for (const LinkDownSpec& spec : link_downs_) {
+    bool pair = (spec.a == a && spec.b == b) || (spec.a == b && spec.b == a);
+    if (pair && now >= spec.at && now < spec.at + spec.duration) {
+      return true;
+    }
+  }
+  return false;
+}
+
 bool FaultPlan::OnIpcTransmit(size_t from, size_t to, SimTime now) {
   if (!Partitioned(from, to, now)) {
     return false;

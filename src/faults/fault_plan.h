@@ -97,6 +97,21 @@ struct PartitionSpec {
   SimDuration duration = 0;
 };
 
+// A symmetric down window for one physical topology link during
+// [at, at + duration): no transfer may start on the link between nodes
+// `a` and `b` (NetworkTopology node names, e.g. "replica0", "rack0") in
+// either direction. The topology reroutes affected transfers over surviving
+// paths when one exists; when none does, the IPC fabric surfaces the same
+// retry/deadline semantics as a partition. Unlike PartitionSpec (which
+// blocks one replica PAIR), a link-down hits every pair routed across the
+// link — downing a rack uplink partitions rack from rack.
+struct LinkDownSpec {
+  std::string a;
+  std::string b;
+  SimTime at = 0;
+  SimDuration duration = 0;
+};
+
 // A slow-consumer window on `replica` during [at, at + duration): every IPC
 // message that becomes deliverable at a channel homed there is held for
 // `stall` before a recv may take it. Lets tests exercise credit backpressure
@@ -115,6 +130,7 @@ struct FaultPlanStats {
   uint64_t kv_corruptions = 0;      // Chunk transfers corrupted in flight.
   uint64_t partition_blocks = 0;    // IPC transfer attempts blocked.
   uint64_t slow_consumer_stalls = 0;  // Deliveries held by a stall window.
+  uint64_t link_down_blocks = 0;    // Transfers denied their static route.
 };
 
 class FaultPlan {
@@ -146,6 +162,12 @@ class FaultPlan {
   void AddSlowConsumer(size_t replica, SimTime at, SimDuration duration,
                        SimDuration stall) {
     slow_consumers_.push_back(SlowConsumerSpec{replica, at, duration, stall});
+  }
+
+  void AddLinkDown(std::string a, std::string b, SimTime at,
+                   SimDuration duration) {
+    link_downs_.push_back(
+        LinkDownSpec{std::move(a), std::move(b), at, duration});
   }
 
   // ---- Consultation (serving layer) ------------------------------------
@@ -180,6 +202,17 @@ class FaultPlan {
   // without counting a blocked attempt.
   bool Partitioned(size_t from, size_t to, SimTime now) const;
 
+  // True when a down window covers the physical link between topology nodes
+  // `a` and `b` (either direction) at `now`. Pure time check — the topology
+  // consults it per link while validating a route, so it never counts.
+  bool LinkDown(const std::string& a, const std::string& b, SimTime now) const;
+
+  // One transfer denied its static route by a down link (the topology calls
+  // this once per rerouted or blocked transfer, not once per link checked).
+  void NoteLinkBlocked() { ++stats_.link_down_blocks; }
+
+  const std::vector<LinkDownSpec>& link_downs() const { return link_downs_; }
+
   // Delay before a message that just became deliverable at a channel homed
   // on `replica` may be received; 0 outside every slow-consumer window.
   // Pure time check (longest covering window wins), so retried and replayed
@@ -200,6 +233,7 @@ class FaultPlan {
   std::vector<KvCorruptionSpec> corruption_;
   std::vector<PartitionSpec> partitions_;
   std::vector<SlowConsumerSpec> slow_consumers_;
+  std::vector<LinkDownSpec> link_downs_;
   FaultPlanStats stats_;
 };
 

@@ -36,9 +36,6 @@ SimDuration CostModel::BatchTime(std::span<const WorkItem> items) const {
 }
 
 SimDuration CostModel::NetworkTime(uint64_t bytes) const {
-  if (bytes == 0) {
-    return 0;
-  }
   return hw_.interconnect_latency +
          DurationFromSeconds(static_cast<double>(bytes) /
                              hw_.interconnect_bandwidth);

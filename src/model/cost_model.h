@@ -61,8 +61,11 @@ class CostModel {
   // Host<->device transfer (KV offload/restore).
   SimDuration TransferTime(uint64_t bytes) const;
 
-  // Cross-replica network transfer (journal shipping, snapshot store
-  // publish/import). Zero bytes cost nothing: the data never moved.
+  // Cross-replica network transfer: serialization at interconnect bandwidth
+  // plus propagation latency. The latency applies even for zero bytes — an
+  // empty message is still a packet crossing the wire. (Callers that know no
+  // packet moved at all — e.g. a fully local fetch — skip the call, they
+  // don't rely on a zero-byte freebie.)
   SimDuration NetworkTime(uint64_t bytes) const;
 
   // KV bytes available on-device after weights and activation reserve.

@@ -11,14 +11,21 @@
 namespace symphony {
 
 IpcFabric::IpcFabric(Simulator* sim, const CostModel* cost, FaultPlan* faults,
-                     TraceRecorder* trace, IpcFabricOptions options)
+                     TraceRecorder* trace, IpcFabricOptions options,
+                     NetworkTopology* topology)
     : sim_(sim),
       cost_(cost),
       faults_(faults),
       trace_(trace),
-      options_(options) {
+      options_(options),
+      topology_(topology) {
   assert(sim != nullptr);
   assert(cost != nullptr);
+  if (topology_ == nullptr) {
+    owned_topology_ = std::make_unique<NetworkTopology>(sim, cost, faults,
+                                                        trace);
+    topology_ = owned_topology_.get();
+  }
 }
 
 void IpcFabric::AttachReplica(size_t index, LipRuntime* runtime) {
@@ -31,24 +38,18 @@ void IpcFabric::AttachReplica(size_t index, LipRuntime* runtime) {
 }
 
 void IpcFabric::MarkReplicaDead(size_t index) {
-  if (index < dead_.size()) {
-    dead_[index] = true;
+  if (index >= dead_.size()) {
+    // An unknown replica cannot hold waiters or bytes; marking it dead is a
+    // caller bug (wrong index), and ignoring it would quietly leave the REAL
+    // victim's waiters parked forever. Fail loudly.
+    SYMPHONY_LOG(kError) << "MarkReplicaDead: replica " << index
+                         << " was never attached (replica count "
+                         << dead_.size() << ")";
+    assert(false && "MarkReplicaDead on an unattached replica index");
+    return;
   }
+  dead_[index] = true;
   DropReplicaWaiters(index);
-}
-
-Link& IpcFabric::LinkFor(size_t from, size_t to) {
-  auto key = std::make_pair(from, to);
-  auto it = links_.find(key);
-  if (it == links_.end()) {
-    it = links_
-             .emplace(key, std::make_unique<Link>(
-                               sim_, cost_, trace_,
-                               "link:replica" + std::to_string(from) +
-                                   "->replica" + std::to_string(to)))
-             .first;
-  }
-  return *it->second;
 }
 
 IpcFabric::Message* IpcFabric::FindMessage(ChannelState& ch, uint64_t msg_id) {
@@ -502,8 +503,16 @@ void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
     return;
   }
   SimTime now = sim_->now();
-  if (faults_ != nullptr && faults_->OnIpcTransmit(from, to, now)) {
-    ++stats_.partition_retries;
+  bool partitioned = faults_ != nullptr && faults_->OnIpcTransmit(from, to, now);
+  // A link-down window with no surviving route surfaces the same
+  // retry/backoff/deadline semantics as a partition.
+  bool unroutable = !partitioned && !topology_->Routable(from, to, now);
+  if (partitioned || unroutable) {
+    if (partitioned) {
+      ++stats_.partition_retries;
+    } else {
+      ++stats_.link_down_retries;
+    }
     if (msg->first_blocked < 0) {
       msg->first_blocked = now;
     }
@@ -530,7 +539,8 @@ void IpcFabric::BeginTransfer(const std::string& name, uint64_t msg_id) {
   msg->first_blocked = -1;
   msg->attempt = 0;
   ++stats_.cross_sends;
-  SimTime arrival = LinkFor(from, to).Transmit(msg->bytes.size(), name);
+  stats_.cross_bytes += msg->bytes.size();
+  SimTime arrival = topology_->Transfer(from, to, msg->bytes.size(), name);
   msg->in_flight = true;
   sim_->ScheduleAt(arrival,
                    [this, name, msg_id, to] { Arrive(name, msg_id, to); });

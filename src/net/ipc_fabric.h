@@ -7,8 +7,10 @@
 // SymphonyCluster additionally calls RehomeEndpoint when it replays an
 // endpoint elsewhere, so messages already in flight are forwarded). Sends
 // from any replica are accepted immediately — fire-and-forget, matching
-// LipContext::send — and the message traverses a simulated Link (cost-model
-// bandwidth/latency, "net" trace spans) when the home is remote. The fabric,
+// LipContext::send — and the message is routed through the cluster's
+// NetworkTopology (per-hop link serialization and latency, "net" trace
+// spans) when the home is remote, contending for the same physical links as
+// journal shipping and snapshot-store chunk fetches. The fabric,
 // not any one replica's runtime, owns every queue: messages survive replica
 // death and are forwarded to a replayed endpoint's new home, which is what
 // lets KillReplica/Migrate move ONE half of a communicating pair.
@@ -29,10 +31,12 @@
 // the endpoint died — so multi-waiter fan-in stays bit-identical too.
 //
 // Partitions (src/faults): a transfer attempt blocked by a FaultPlan
-// partition window retries with exponential backoff (deterministically
-// jittered per (seed, channel, message, attempt)) and the message is dropped
-// — kUnavailable recorded on the channel, visible via View()/stats, never
-// thrown at the sender — only once it has been stuck past send_deadline.
+// partition window — or left with no live route by link-down windows
+// (FaultPlan::AddLinkDown when the topology has no surviving path) — retries
+// with exponential backoff (deterministically jittered per (seed, channel,
+// message, attempt)) and the message is dropped — kUnavailable recorded on
+// the channel, visible via View()/stats, never thrown at the sender — only
+// once it has been stuck past send_deadline.
 //
 // Flow control (credit-based): a channel with capacity k holds a ledger of k
 // credits. Accepting a send consumes one; the credit travels with the
@@ -80,7 +84,7 @@
 #include "src/common/status.h"
 #include "src/faults/fault_plan.h"
 #include "src/model/cost_model.h"
-#include "src/net/link.h"
+#include "src/net/topology.h"
 #include "src/runtime/runtime.h"
 #include "src/sim/event_queue.h"
 #include "src/sim/time.h"
@@ -120,8 +124,10 @@ struct IpcReplicaStats {
 
 struct IpcFabricStats {
   uint64_t local_deliveries = 0;   // Origin and home on the same replica.
-  uint64_t cross_sends = 0;        // Link transfers started.
+  uint64_t cross_sends = 0;        // Topology transfers started.
+  uint64_t cross_bytes = 0;        // Payload bytes handed to the topology.
   uint64_t partition_retries = 0;  // Transfer attempts blocked by a partition.
+  uint64_t link_down_retries = 0;  // Transfer attempts with no live route.
   uint64_t rehomes = 0;            // Channel endpoint re-registrations.
   uint64_t credit_waits = 0;       // Senders parked for a credit.
   uint64_t credit_grants = 0;      // Parked senders granted a freed credit.
@@ -148,8 +154,13 @@ struct ChannelView {
 
 class IpcFabric : public ChannelFabric {
  public:
+  // `topology` routes every cross-replica transfer; nullptr makes the fabric
+  // construct and own a default single-switch NetworkTopology (standalone
+  // tests). SymphonyCluster passes its shared instance so IPC contends with
+  // journal shipping and store fetches on the same links.
   IpcFabric(Simulator* sim, const CostModel* cost, FaultPlan* faults,
-            TraceRecorder* trace, IpcFabricOptions options = {});
+            TraceRecorder* trace, IpcFabricOptions options = {},
+            NetworkTopology* topology = nullptr);
 
   // ---- Cluster wiring ---------------------------------------------------
 
@@ -206,10 +217,8 @@ class IpcFabric : public ChannelFabric {
   }
   size_t replica_count() const { return runtimes_.size(); }
   ChannelView View(const std::string& channel) const;
-  const std::map<std::pair<size_t, size_t>, std::unique_ptr<Link>>& links()
-      const {
-    return links_;
-  }
+  NetworkTopology& topology() { return *topology_; }
+  const NetworkTopology& topology() const { return *topology_; }
 
  private:
   struct Message {
@@ -289,7 +298,6 @@ class IpcFabric : public ChannelFabric {
   // Delivers available head messages to parked waiters, FIFO both sides.
   void Drain(const std::string& name, ChannelState& ch);
   void DropMessage(const std::string& name, ChannelState& ch, uint64_t msg_id);
-  Link& LinkFor(size_t from, size_t to);
   Message* FindMessage(ChannelState& ch, uint64_t msg_id);
   SimDuration RetryDelay(const std::string& name, const Message& msg) const;
 
@@ -303,7 +311,8 @@ class IpcFabric : public ChannelFabric {
   std::vector<IpcReplicaStats> replica_stats_;
   // std::map: deterministic iteration order for RehomeEndpoint.
   std::map<std::string, ChannelState> channels_;
-  std::map<std::pair<size_t, size_t>, std::unique_ptr<Link>> links_;
+  std::unique_ptr<NetworkTopology> owned_topology_;  // When none was passed.
+  NetworkTopology* topology_;
   IpcFabricStats stats_;
 };
 

@@ -24,16 +24,24 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   dead_.assign(options_.replicas, false);
   cost_model_ = std::make_unique<CostModel>(options_.server.model,
                                             options_.server.hardware);
+  // ONE topology instance routes every cross-replica byte: IPC, journal
+  // shipping, and store fetches contend for the same physical links.
+  TopologyOptions topology_options = options_.topology;
+  topology_options.replicas = options_.replicas;
+  topology_ = std::make_unique<NetworkTopology>(
+      sim_, cost_model_.get(), options_.server.fault_plan,
+      options_.server.trace, topology_options);
   SnapshotStoreOptions store_options;
   store_options.chunk_bytes = options_.store_chunk_bytes;
   store_options.sim = sim_;
   store_options.cost = cost_model_.get();
   store_options.fault_plan = options_.server.fault_plan;
   store_options.trace = options_.server.trace;
+  store_options.topology = topology_.get();
   store_ = std::make_unique<SnapshotStore>(store_options);
   fabric_ = std::make_unique<IpcFabric>(
       sim_, cost_model_.get(), options_.server.fault_plan,
-      options_.server.trace, options_.ipc);
+      options_.server.trace, options_.ipc, topology_.get());
   for (size_t i = 0; i < replicas_.size(); ++i) {
     fabric_->AttachReplica(i, &replicas_[i]->runtime());
     replicas_[i]->runtime().set_channel_fabric(fabric_.get(), i);
@@ -307,6 +315,16 @@ void SymphonyCluster::ShipJournal(uint64_t uid, size_t target,
   if (it == records_.end() || it->second.done) {
     return;
   }
+  size_t source = it->second.replica;
+  // A down link with no surviving route: hold the shipment and retry, the
+  // same surfacing as a corrupted rehydrate. The journal bytes sit at the
+  // source until a path exists.
+  if (!topology_->Routable(source, target, sim_->now())) {
+    sim_->ScheduleAfter(Millis(2), [this, uid, target, journal] {
+      ShipJournal(uid, target, journal);
+    });
+    return;
+  }
   // Measure the live suffix BEFORE rehydration turns the folded prefix back
   // into live entries.
   uint64_t suffix_bytes = JournalLiveBytes(*journal);
@@ -333,8 +351,15 @@ void SymphonyCluster::ShipJournal(uint64_t uid, size_t target,
   // the store above); full ships the whole serialized log and the store
   // fetch was just the local mechanism, so only the wire bytes are charged.
   uint64_t ship = delta ? suffix_bytes : JournalLiveBytes(*journal);
-  SimDuration delay =
-      cost_model_->NetworkTime(ship) + (delta ? fetch_time : 0);
+  // The suffix rides the topology's links from the source, occupying them
+  // against concurrent IPC. The checkpoint fetch above already occupies its
+  // own routes (queueing against this ship where they share a link), so a
+  // delta waits for whichever of the two racing streams lands last — not
+  // their sum.
+  SimDuration wire = topology_->Transfer(source, target, ship,
+                                         "ship:" + it->second.name) -
+                     sim_->now();
+  SimDuration delay = delta ? std::max(wire, fetch_time) : wire;
   ship_bytes_ += ship;
   if (delta) {
     ++delta_ships_;
@@ -449,9 +474,19 @@ Status SymphonyCluster::KillReplica(size_t index) {
   for (uint64_t uid : victims) {
     size_t target = 0;
     size_t best = SIZE_MAX;
+    SimDuration best_dist = 0;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (!dead_[i] && planned[i] < best) {
+      if (dead_[i]) {
+        continue;
+      }
+      // Topology-aware spreading: equal planned load breaks toward the
+      // survivor closest to the victim (an intra-rack failover ships its
+      // journal without crossing the uplink). Strictly-closer-only, so the
+      // uniform single-switch topology keeps the legacy lowest-index pick.
+      SimDuration dist = topology_->Distance(index, i);
+      if (planned[i] < best || (planned[i] == best && dist < best_dist)) {
         best = planned[i];
+        best_dist = dist;
         target = i;
       }
     }
@@ -548,9 +583,19 @@ size_t SymphonyCluster::Rebalance() {
           continue;
         }
         size_t target = i;
+        SimDuration target_dist = 0;
         for (size_t j = 0; j < replicas_.size(); ++j) {
-          if (!dead_[j] && planned[j] < planned[target]) {
+          if (dead_[j]) {
+            continue;
+          }
+          // Same topology-aware tie-break as KillReplica: prefer the closest
+          // equally-empty replica so rebalance ships stay intra-rack.
+          SimDuration dist = topology_->Distance(i, j);
+          if (planned[j] < planned[target] ||
+              (target != i && planned[j] == planned[target] &&
+               dist < target_dist)) {
             target = j;
+            target_dist = dist;
           }
         }
         if (target == i || planned[target] + 1 >= planned[i] ||
@@ -761,8 +806,10 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
     snap.ipc_per_replica.push_back(ipc);
   }
   snap.ipc_cross_sends = fabric_->stats().cross_sends;
+  snap.ipc_cross_bytes = fabric_->stats().cross_bytes;
   snap.ipc_local_deliveries = fabric_->stats().local_deliveries;
   snap.ipc_partition_retries = fabric_->stats().partition_retries;
+  snap.ipc_link_down_retries = fabric_->stats().link_down_retries;
   snap.ipc_rehomes = fabric_->stats().rehomes;
   snap.ipc_credit_waits = fabric_->stats().credit_waits;
   snap.ipc_credit_grants = fabric_->stats().credit_grants;
@@ -785,6 +832,12 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   snap.submit_reroutes = submit_reroutes_;
   snap.submit_sheds = submit_sheds_;
   snap.store = store_->stats();
+  snap.net_transfers = topology_->stats().transfers;
+  snap.net_payload_bytes = topology_->stats().payload_bytes;
+  snap.net_multi_hop = topology_->stats().multi_hop_transfers;
+  snap.net_reroutes = topology_->stats().reroutes;
+  snap.net_link_blocked = topology_->stats().blocked;
+  snap.net_links = topology_->LinkReport();
   return snap;
 }
 

@@ -25,8 +25,8 @@
 //     checkpoint_interval entries and truncates the folded prefix, bounding
 //     journal memory for long-lived LIPs;
 //   * delta migration: Migrate/KillReplica ship (checkpoint ref + live
-//     suffix) instead of the whole log; replay starts after the cost model's
-//     interconnect time for the bytes that actually moved;
+//     suffix) instead of the whole log; replay starts once the bytes that
+//     actually moved clear the network topology's links;
 //   * cross-replica prefix sharing: SharePrefixes() publishes hot named KV
 //     files and warm-imports them on other replicas when the Replayer's cost
 //     model says import beats recompute.
@@ -86,8 +86,8 @@ struct ClusterOptions {
   bool checkpoint_journals = false;
   uint64_t checkpoint_interval = 64;
   // Ship (checkpoint ref + live suffix) on Migrate/KillReplica instead of
-  // the full serialized journal. Replay start is delayed by the cost model's
-  // interconnect time for the shipped bytes either way.
+  // the full serialized journal. Replay start is delayed by the shipped
+  // bytes' time on the topology's links either way.
   bool delta_migration = true;
   uint64_t store_chunk_bytes = 4096;
   // Prefix sharing: a named file is publishable once it has been opened this
@@ -101,6 +101,11 @@ struct ClusterOptions {
   // Cluster IPC fabric (src/net): cross-replica channel routing, partition
   // retry/deadline behavior, link cost charging.
   IpcFabricOptions ipc;
+  // Network topology (src/net): the physical link graph EVERY cross-replica
+  // byte — IPC, journal shipping, snapshot-store fetches — is routed over.
+  // `replicas` above overrides the preset's replica count. The default
+  // single-switch preset reproduces the uniform-interconnect timings exactly.
+  TopologyOptions topology;
 };
 
 class SymphonyCluster {
@@ -199,6 +204,10 @@ class SymphonyCluster {
   IpcFabric& fabric() { return *fabric_; }
   const IpcFabric& fabric() const { return *fabric_; }
 
+  // The network topology all cross-replica bytes are routed over.
+  NetworkTopology& topology() { return *topology_; }
+  const NetworkTopology& topology() const { return *topology_; }
+
   // ---- Introspection ---------------------------------------------------
 
   // Current placement of `id` (follows migrations via uid when recovery is
@@ -255,6 +264,15 @@ class SymphonyCluster {
     uint64_t ipc_credit_waits_replayed = 0;  // Waits consumed from journals.
     std::vector<IpcReplicaStats> ipc_per_replica;
     SnapshotStoreStats store;
+    // Network topology (src/net): every cross-replica byte, by physical link.
+    uint64_t net_transfers = 0;         // End-to-end transfers routed.
+    uint64_t net_payload_bytes = 0;     // Payload bytes (counted once each).
+    uint64_t net_multi_hop = 0;         // Transfers that crossed a switch hop.
+    uint64_t net_reroutes = 0;          // Transfers detoured around a down link.
+    uint64_t net_link_blocked = 0;      // Attempts with no live route at all.
+    uint64_t ipc_cross_bytes = 0;       // IPC payload handed to the topology.
+    uint64_t ipc_link_down_retries = 0; // IPC retries caused by down links.
+    std::vector<TopoLinkReport> net_links;  // Per-link transfer/byte/queue stats.
   };
   ClusterSnapshot Snapshot() const;
 
@@ -303,6 +321,7 @@ class SymphonyCluster {
   Simulator* sim_;
   ClusterOptions options_;
   std::unique_ptr<CostModel> cost_model_;
+  std::unique_ptr<NetworkTopology> topology_;
   std::unique_ptr<SnapshotStore> store_;
   std::unique_ptr<IpcFabric> fabric_;
   std::vector<std::unique_ptr<SymphonyServer>> replicas_;

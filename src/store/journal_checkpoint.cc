@@ -190,6 +190,12 @@ StatusOr<std::vector<TokenRecord>> ParseTokenRecords(const std::string& bytes) {
 uint64_t JournalLiveBytes(const SyscallJournal& journal) {
   uint64_t bytes = 0;
   for (const auto& [path, log] : journal.threads()) {
+    // A thread with nothing live ships nothing — its path is already
+    // implied by the folded checkpoint, so a fully-folded journal measures
+    // zero (the degenerate delta ship: an empty packet, pure latency).
+    if (log.live.empty()) {
+      continue;
+    }
     for (const JournalEntry& entry : log.live) {
       std::string buf;
       AppendJournalEntry(&buf, entry);

@@ -1,8 +1,10 @@
 #include "src/store/snapshot_store.h"
 
 #include <algorithm>
+#include <map>
 
 #include "src/common/hash.h"
+#include "src/net/topology.h"
 
 namespace symphony {
 
@@ -27,6 +29,24 @@ std::unordered_set<uint64_t>& SnapshotStore::CacheFor(size_t replica) {
     local_.resize(replica + 1);
   }
   return local_[replica];
+}
+
+size_t SnapshotStore::NearestHolder(size_t replica, uint64_t chunk_key) const {
+  size_t best = SIZE_MAX;
+  SimDuration best_dist = 0;
+  for (size_t holder = 0; holder < local_.size(); ++holder) {
+    if (holder == replica || local_[holder].count(chunk_key) == 0) {
+      continue;
+    }
+    SimDuration dist = options_.topology != nullptr
+                           ? options_.topology->Distance(holder, replica)
+                           : 0;
+    if (best == SIZE_MAX || dist < best_dist) {
+      best = holder;
+      best_dist = dist;
+    }
+  }
+  return best;
 }
 
 PublishResult SnapshotStore::Publish(size_t replica,
@@ -129,6 +149,10 @@ StatusOr<FetchResult> SnapshotStore::Fetch(size_t replica, uint64_t key) {
 
   FetchResult result;
   result.manifest = &manifest;
+  // Moved bytes grouped by nearest caching replica (the simulated source);
+  // SIZE_MAX groups chunks no replica cache holds (flat-charged fallback).
+  // std::map: deterministic transfer order.
+  std::map<size_t, uint64_t> moved_by_source;
   for (const StreamManifest& stream : manifest.streams) {
     std::string bytes;
     bytes.reserve(stream.bytes);
@@ -171,6 +195,7 @@ StatusOr<FetchResult> SnapshotStore::Fetch(size_t replica, uint64_t key) {
         return UnavailableError("kv snapshot chunk corrupted in transfer "
                                 "(snapshot " + manifest.label + ")");
       }
+      moved_by_source[NearestHolder(replica, chunk_key)] += moved.size();
       result.bytes_fetched += moved.size();
       ++result.chunks_fetched;
       stats_.fetched_bytes += moved.size();
@@ -179,8 +204,32 @@ StatusOr<FetchResult> SnapshotStore::Fetch(size_t replica, uint64_t key) {
     }
     result.streams.emplace_back(stream.name, std::move(bytes));
   }
-  if (options_.cost != nullptr) {
-    result.transfer_time = options_.cost->NetworkTime(result.bytes_fetched);
+  if (result.bytes_fetched > 0) {
+    // Nothing moved = nothing charged; only actual packets pay wire time.
+    if (options_.topology != nullptr) {
+      // One transfer per source replica, all racing in parallel over their
+      // own routes (and queueing where those routes share links); the fetch
+      // completes when the slowest source delivers.
+      SimTime now = Now();
+      SimTime arrival = now;
+      uint64_t unsourced = 0;
+      for (const auto& [source, moved_bytes] : moved_by_source) {
+        if (source == SIZE_MAX) {
+          unsourced = moved_bytes;
+          continue;
+        }
+        arrival = std::max(
+            arrival, options_.topology->Transfer(source, replica, moved_bytes,
+                                                 "store:" + manifest.label));
+      }
+      result.transfer_time = arrival - now;
+      if (unsourced > 0 && options_.cost != nullptr) {
+        result.transfer_time = std::max(
+            result.transfer_time, options_.cost->NetworkTime(unsourced));
+      }
+    } else if (options_.cost != nullptr) {
+      result.transfer_time = options_.cost->NetworkTime(result.bytes_fetched);
+    }
   }
   if (options_.trace != nullptr) {
     if (result.bytes_fetched > 0) {

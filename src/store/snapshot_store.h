@@ -22,8 +22,13 @@
 //
 // Transfer costs are simulated, not real: the store tracks which replicas
 // already hold each chunk, and Fetch reports the bytes that actually had to
-// move plus the interconnect time the cost model charges for them. Callers
-// (SymphonyCluster) delay the dependent action by that time.
+// move plus the time those bytes took on the wire. With a NetworkTopology
+// wired in (SnapshotStoreOptions::topology — how SymphonyCluster runs it),
+// the moved bytes are routed from the nearest caching replica over the same
+// physical links as IPC and journal shipping, so a fetch queues behind — and
+// delays — concurrent traffic on shared hops. Without one, the flat
+// CostModel::NetworkTime charge applies. Callers delay the dependent action
+// by the reported transfer_time.
 #ifndef SRC_STORE_SNAPSHOT_STORE_H_
 #define SRC_STORE_SNAPSHOT_STORE_H_
 
@@ -43,15 +48,21 @@
 
 namespace symphony {
 
+class NetworkTopology;
+
 struct SnapshotStoreOptions {
   // Chunking granularity for serialized streams. Smaller chunks dedup more
   // finely but cost more manifest bookkeeping.
   uint64_t chunk_bytes = 4096;
   // All non-owning; any may be null (features degrade gracefully).
   Simulator* sim = nullptr;           // Virtual clock for windows and traces.
-  const CostModel* cost = nullptr;    // Interconnect time for fetched bytes.
+  const CostModel* cost = nullptr;    // Flat interconnect-time fallback.
   FaultPlan* fault_plan = nullptr;    // In-flight corruption injection.
   TraceRecorder* trace = nullptr;     // publish/import spans ("store" track).
+  // Routes fetched bytes over the cluster's physical links (from the nearest
+  // caching replica), serializing against concurrent IPC and migration
+  // traffic. Null = flat CostModel::NetworkTime charge, no link occupancy.
+  NetworkTopology* topology = nullptr;
 };
 
 // What a publisher hands the store: named append-only streams plus the
@@ -124,11 +135,12 @@ class SnapshotStore {
   PublishResult Publish(size_t replica, const SnapshotPayload& payload);
 
   // Reassembles snapshot `key` at `replica`: chunks missing from the
-  // replica's cache move over the interconnect (charged via the cost model
-  // in the result's transfer_time) and are checksum-verified on arrival — a
-  // mismatch is retried once (fresh fault draw) and then fails the fetch
-  // with kUnavailable, so corrupted data is NEVER returned. Does not take a
-  // reference.
+  // replica's cache move over the interconnect — routed per source replica
+  // through the topology when one is wired, flat cost-model time otherwise;
+  // either way reported in the result's transfer_time (0 when nothing moved)
+  // — and are checksum-verified on arrival. A mismatch is retried once
+  // (fresh fault draw) and then fails the fetch with kUnavailable, so
+  // corrupted data is NEVER returned. Does not take a reference.
   StatusOr<FetchResult> Fetch(size_t replica, uint64_t key);
 
   // Reference counting. A snapshot whose count reaches zero is dropped,
@@ -159,6 +171,9 @@ class SnapshotStore {
 
   SimTime Now() const;
   std::unordered_set<uint64_t>& CacheFor(size_t replica);
+  // The caching replica closest to `replica` in the topology (ties toward
+  // the lowest index); SIZE_MAX when no other replica holds the chunk.
+  size_t NearestHolder(size_t replica, uint64_t chunk_key) const;
 
   SnapshotStoreOptions options_;
   std::unordered_map<uint64_t, Chunk> chunks_;

@@ -281,6 +281,15 @@ TEST_F(CostModelTest, TransferTimeScalesWithBytes) {
   EXPECT_NEAR(ToSeconds(large), 0.04, 0.005);
 }
 
+TEST_F(CostModelTest, ZeroByteNetworkTimeIsPropagationLatency) {
+  // An empty message is still a packet: it pays the interconnect's
+  // propagation latency even though it serializes in zero time.
+  // (Regression: this used to return 0, letting empty-payload sends and
+  // fully-deduped delta ships arrive instantaneously.)
+  EXPECT_EQ(cost_.NetworkTime(0), cost_.hardware().interconnect_latency);
+  EXPECT_GT(cost_.NetworkTime(1 << 20), cost_.NetworkTime(0));
+}
+
 TEST_F(CostModelTest, KvBudgetFitsRoughly50GB) {
   // 80GB - 26GB weights - 4GB activations = 50GB.
   EXPECT_NEAR(static_cast<double>(cost_.DeviceKvBudgetBytes()), 50e9, 1e9);

@@ -98,9 +98,19 @@ struct PairRun {
 
 // Launches a producer/consumer pair on DIFFERENT replicas (round robin:
 // consumer lands on 0, producer on 1) and optionally faults ONE endpoint.
-PairRun RunSplitPair(uint64_t seed, PairFault fault, SimTime at) {
+// two_rack swaps the default single-switch topology for a 2-rack graph
+// (replicas {0,1} | {2}, spine spare), making every cross-rack byte
+// multi-hop.
+PairRun RunSplitPair(uint64_t seed, PairFault fault, SimTime at,
+                     bool two_rack = false) {
   Simulator sim;
-  SymphonyCluster cluster(&sim, SplitPairOptions(seed));
+  ClusterOptions options = SplitPairOptions(seed);
+  if (two_rack) {
+    options.topology.preset = TopologyOptions::Preset::kTwoRack;
+    options.topology.rack_split = 2;
+    options.topology.spine = true;
+  }
+  SymphonyCluster cluster(&sim, options);
   SymphonyCluster::ClusterLip cons =
       cluster.Launch("consumer", "", PairConsumer(kPairMsgs));
   SymphonyCluster::ClusterLip prod =
@@ -459,12 +469,17 @@ TEST(NetTest, CountersDistinguishLocalFromCrossDeliveries) {
               static_cast<uint64_t>(kPairMsgs));
     EXPECT_EQ(snap.ipc_per_replica[cons.replica].received,
               static_cast<uint64_t>(kPairMsgs));
-    // The link between the pair carried the bytes and charged the cost model.
+    // The topology's links carried the bytes: per-link stats account for
+    // every payload byte the fabric handed over.
     uint64_t link_transfers = 0;
-    for (const auto& [pair, link] : cluster.fabric().links()) {
-      link_transfers += link->stats().transfers;
+    uint64_t link_bytes = 0;
+    for (const TopoLinkReport& link : snap.net_links) {
+      link_transfers += link.stats.transfers;
+      link_bytes += link.stats.bytes;
     }
     EXPECT_EQ(link_transfers, static_cast<uint64_t>(kPairMsgs));
+    EXPECT_EQ(link_bytes, snap.ipc_cross_bytes);
+    EXPECT_EQ(snap.net_transfers, snap.ipc_cross_sends);
   }
 }
 
@@ -807,6 +822,336 @@ TEST(NetTest, PerChannelCreditOverrideBoundsOnlyThatChannel) {
   cluster.fabric().SetChannelCredits("credit", 0);
   EXPECT_EQ(cluster.fabric().View("credit").capacity, 0u);
 }
+
+// ---- Network topology (ISSUE 8) ----------------------------------------
+
+// Zero bytes is still a packet: the propagation latency applies, end to end
+// and in the cost model. (Regression: NetworkTime(0) used to return 0, so
+// empty-payload sends and fully-deduped delta ships teleported.)
+TEST(NetTopologyTest, ZeroByteTransferStillPaysPropagationLatency) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  NetworkTopology topo(&sim, &cost, nullptr, nullptr);
+  SimDuration latency = cost.hardware().interconnect_latency;
+  EXPECT_EQ(topo.Transfer(0, 1, 0, "empty"), latency);
+  EXPECT_EQ(cost.NetworkTime(0), latency);
+}
+
+// The default single-switch preset is the legacy uniform interconnect: one
+// idle transfer costs exactly CostModel::NetworkTime, and back-to-back
+// transfers on the same pair serialize (queue_delay shows the wait).
+TEST(NetTopologyTest, SingleSwitchMatchesCostModelAndSerializes) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  NetworkTopology topo(&sim, &cost, nullptr, nullptr);
+  constexpr uint64_t kBytes = 1 << 20;
+  SimTime first = topo.Transfer(0, 1, kBytes, "a");
+  EXPECT_EQ(first, cost.NetworkTime(kBytes));
+  // Second transfer queues behind the first's serialization (not its
+  // latency): arrival = 2x serialization + latency.
+  SimTime second = topo.Transfer(0, 1, kBytes, "b");
+  SimDuration serialize =
+      cost.NetworkTime(kBytes) - cost.hardware().interconnect_latency;
+  EXPECT_EQ(second, first + serialize);
+  // The reverse direction is an independent wire.
+  EXPECT_EQ(topo.Transfer(1, 0, kBytes, "c"), cost.NetworkTime(kBytes));
+  EXPECT_EQ(topo.stats().multi_hop_transfers, 0u);
+  std::vector<TopoLinkReport> links = topo.LinkReport();
+  ASSERT_EQ(links.size(), 2u);
+  EXPECT_EQ(links[0].name, "link:replica0->replica1");
+  EXPECT_EQ(links[0].stats.transfers, 2u);
+  EXPECT_EQ(links[0].stats.queue_delay, serialize);
+  EXPECT_EQ(links[1].name, "link:replica1->replica0");
+}
+
+TopologyOptions TwoRackOptions(size_t replicas, size_t split, bool spine) {
+  TopologyOptions topt;
+  topt.preset = TopologyOptions::Preset::kTwoRack;
+  topt.replicas = replicas;
+  topt.rack_split = split;
+  topt.spine = spine;
+  return topt;
+}
+
+// Two racks: an inter-rack transfer pays exactly one uplink (serialization +
+// latency) more than an intra-rack one, and the placement metric sees the
+// difference.
+TEST(NetTopologyTest, InterRackCostsOneUplinkMoreThanIntraRack) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  NetworkTopology topo(&sim, &cost, nullptr, nullptr,
+                       TwoRackOptions(4, 2, false));
+  constexpr uint64_t kBytes = 4096;
+  // Disjoint directed links: 0->1 uses (0->rack0, rack0->1); 2->0 uses
+  // (2->rack1, rack1->rack0, rack0->0). No queueing between the two.
+  SimTime intra = topo.Transfer(0, 1, kBytes, "intra");
+  SimTime inter = topo.Transfer(2, 0, kBytes, "inter");
+  EXPECT_GT(inter, intra);
+  // Defaults: edge latency = half the interconnect latency, uplink = full —
+  // so the extra hop costs exactly one single-switch one-way.
+  EXPECT_EQ(inter - intra, cost.NetworkTime(kBytes));
+  EXPECT_EQ(topo.stats().multi_hop_transfers, 2u);
+  SimDuration hw_latency = cost.hardware().interconnect_latency;
+  EXPECT_EQ(topo.Distance(0, 1), hw_latency);
+  EXPECT_EQ(topo.Distance(0, 2), 2 * hw_latency);
+  EXPECT_EQ(topo.Distance(3, 3), 0);
+}
+
+// A downed uplink with a spine spare: transfers reroute over the strictly
+// worse path (later arrival, reroutes counted) and go back to the uplink
+// once the window closes.
+TEST(NetTopologyTest, DownedUplinkReroutesOverSpine) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  constexpr uint64_t kBytes = 4096;
+  FaultPlan plan(7);
+  plan.AddLinkDown("rack0", "rack1", 0, Millis(10));
+  NetworkTopology faulted(&sim, &cost, &plan, nullptr,
+                          TwoRackOptions(3, 2, true));
+  NetworkTopology healthy(&sim, &cost, nullptr, nullptr,
+                          TwoRackOptions(3, 2, true));
+  EXPECT_TRUE(faulted.Routable(0, 2, 0));
+  SimTime via_spine = faulted.Transfer(0, 2, kBytes, "x");
+  SimTime via_uplink = healthy.Transfer(0, 2, kBytes, "x");
+  EXPECT_GT(via_spine, via_uplink);
+  EXPECT_EQ(faulted.stats().reroutes, 1u);
+  EXPECT_EQ(plan.stats().link_down_blocks, 1u);
+  // Outside the window the static uplink route is live again.
+  EXPECT_TRUE(faulted.Routable(0, 2, Millis(11)));
+}
+
+// No spare: the same window makes the racks mutually unroutable (blocked
+// counted), while intra-rack traffic is untouched.
+TEST(NetTopologyTest, DownedUplinkWithoutSpareBlocksRouting) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  FaultPlan plan(7);
+  plan.AddLinkDown("rack0", "rack1", 0, Millis(10));
+  NetworkTopology topo(&sim, &cost, &plan, nullptr,
+                       TwoRackOptions(3, 2, false));
+  EXPECT_FALSE(topo.Routable(0, 2, 0));
+  EXPECT_TRUE(topo.Routable(0, 1, 0));
+  EXPECT_TRUE(topo.Routable(0, 2, Millis(10)));  // Window is half-open.
+  EXPECT_EQ(topo.stats().blocked, 1u);
+  EXPECT_EQ(plan.stats().link_down_blocks, 1u);
+}
+
+// Cluster-level link-down surfacing on the single-switch mesh (no alternate
+// path exists by construction): sends retry with backoff through the window
+// — the IPC semantics of a partition, driven by the topology — and complete
+// without loss or reordering.
+TEST(NetTest, LinkDownWindowRetriesAndCompletes) {
+  auto run = [](FaultPlan* plan) {
+    Simulator sim;
+    SymphonyCluster cluster(&sim, PartitionOptions(17, plan));
+    SymphonyCluster::ClusterLip cons =
+        cluster.Launch("consumer", "", PairConsumer(kPairMsgs));
+    SymphonyCluster::ClusterLip prod =
+        cluster.Launch("producer", "", PairProducer());
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(prod));
+    EXPECT_TRUE(cluster.Done(cons));
+    SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+    EXPECT_EQ(snap.ipc_dropped, 0u);
+    return std::make_pair(cluster.Output(cons), snap);
+  };
+  auto [clean_out, clean_snap] = run(nullptr);
+  ASSERT_FALSE(clean_out.empty());
+  EXPECT_EQ(clean_snap.ipc_link_down_retries, 0u);
+
+  FaultPlan plan(17);
+  plan.AddLinkDown("replica0", "replica1", Micros(500), Millis(30));
+  auto [downed_out, downed_snap] = run(&plan);
+  EXPECT_GT(downed_snap.ipc_link_down_retries, 0u);
+  EXPECT_GT(downed_snap.net_link_blocked, 0u);
+  EXPECT_GT(plan.stats().link_down_blocks, 0u);
+  EXPECT_EQ(downed_snap.ipc_partition_retries, 0u);  // Not a partition.
+  EXPECT_EQ(downed_out, clean_out);
+}
+
+// An empty-payload send crosses the wire like any packet: delivered, counted
+// as a cross-replica transfer, zero payload bytes on the link.
+TEST(NetTest, EmptyPayloadIpcSendCrossesTheWire) {
+  Simulator sim;
+  SymphonyCluster cluster(&sim, SplitPairOptions(61));
+  SymphonyCluster::ClusterLip cons =
+      cluster.Launch("consumer", "", [](LipContext& ctx) -> Task {
+        StatusOr<std::string> msg = co_await ctx.recv("empty");
+        if (msg.ok()) {
+          ctx.emit("len" + std::to_string(msg->size()) + ";");
+        }
+        co_return;
+      });
+  SymphonyCluster::ClusterLip prod =
+      cluster.Launch("producer", "", [](LipContext& ctx) -> Task {
+        co_await ctx.send("empty", "");
+        co_return;
+      });
+  EXPECT_NE(cons.replica, prod.replica);
+  sim.Run();
+  EXPECT_TRUE(cluster.Done(cons));
+  EXPECT_EQ(cluster.Output(cons), "len0;");
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.ipc_cross_sends, 1u);
+  EXPECT_EQ(snap.ipc_cross_bytes, 0u);
+  EXPECT_EQ(snap.net_transfers, 1u);
+  EXPECT_EQ(snap.net_payload_bytes, 0u);
+  // The empty packet still took wire time to arrive.
+  CostModel cost(ModelConfig::Tiny());
+  EXPECT_GE(sim.now(), cost.hardware().interconnect_latency);
+}
+
+// A LIP whose journal folded completely into a checkpoint ships ZERO live
+// bytes on migration (fully-deduped delta). Regression: the zero-byte ship
+// must still route through the topology (paying latency) and replay must
+// stay bit-identical.
+TEST(NetTest, FullyDedupedDeltaShipRoutesThroughTopology) {
+  auto sleeper = []() -> LipProgram {
+    return [](LipContext& ctx) -> Task {
+      for (int i = 0; i < 8; ++i) {
+        co_await ctx.sleep(Micros(200));
+      }
+      co_await ctx.sleep(Millis(20));
+      ctx.emit("done;");
+      co_return;
+    };
+  };
+  auto run = [&](bool migrate) {
+    Simulator sim;
+    ClusterOptions options = SplitPairOptions(67);
+    options.replicas = 2;
+    options.checkpoint_journals = true;
+    options.checkpoint_interval = 4;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip lip =
+        cluster.Launch("sleeper", "", sleeper());
+    if (migrate) {
+      sim.ScheduleAt(Millis(10), [&cluster, lip] {
+        SymphonyCluster::ClusterLip where = cluster.Locate(lip);
+        (void)cluster.Migrate(where, (where.replica + 1) % 2);
+      });
+    }
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(lip));
+    return std::make_pair(cluster.Output(lip), cluster.Snapshot());
+  };
+  auto [baseline_out, baseline_snap] = run(false);
+  EXPECT_EQ(baseline_out, "done;");
+  EXPECT_GT(baseline_snap.checkpoints, 0u);
+  auto [migrated_out, migrated_snap] = run(true);
+  EXPECT_EQ(migrated_out, baseline_out);
+  EXPECT_EQ(migrated_snap.replay_divergences, 0u);
+  EXPECT_EQ(migrated_snap.delta_ships, 1u);
+  EXPECT_EQ(migrated_snap.ship_bytes, 0u) << "journal was fully folded";
+  // The checkpoint fetch and the zero-byte ship both rode the topology.
+  EXPECT_GE(migrated_snap.net_transfers, 2u);
+  EXPECT_EQ(migrated_snap.net_payload_bytes,
+            migrated_snap.store.fetched_bytes + migrated_snap.ipc_cross_bytes +
+                migrated_snap.ship_bytes);
+}
+
+// ---- Byte conservation (property) --------------------------------------
+
+// Every cross-replica byte stream — IPC payloads, journal ships, store chunk
+// fetches — is charged to the topology exactly once, so on the single-hop
+// single-switch mesh the per-link byte totals reconcile with the consumer
+// counters, under a random seeded kill/migrate with checkpointing active.
+class ByteConservationPropertyTest : public ::testing::TestWithParam<uint64_t> {
+};
+
+TEST_P(ByteConservationPropertyTest, LinkBytesMatchConsumerCounters) {
+  uint64_t seed = GetParam();
+  auto run = [&](PairFault fault, SimTime at) {
+    Simulator sim;
+    ClusterOptions options = SplitPairOptions(seed);
+    options.checkpoint_journals = true;
+    options.checkpoint_interval = 8;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip cons =
+        cluster.Launch("consumer", "", PairConsumer(kPairMsgs));
+    SymphonyCluster::ClusterLip prod =
+        cluster.Launch("producer", "", PairProducer());
+    if (fault != PairFault::kNone) {
+      sim.ScheduleAt(at, [&cluster, cons, prod, fault] {
+        SymphonyCluster::ClusterLip victim =
+            (fault == PairFault::kKillProducerReplica ||
+             fault == PairFault::kMigrateProducer)
+                ? prod
+                : cons;
+        SymphonyCluster::ClusterLip where = cluster.Locate(victim);
+        if (fault == PairFault::kKillProducerReplica ||
+            fault == PairFault::kKillConsumerReplica) {
+          (void)cluster.KillReplica(where.replica);
+        } else {
+          (void)cluster.Migrate(where, (where.replica + 1) % 3);
+        }
+      });
+    }
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(prod));
+    EXPECT_TRUE(cluster.Done(cons));
+    SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+    uint64_t link_bytes = 0;
+    for (const TopoLinkReport& link : snap.net_links) {
+      link_bytes += link.stats.bytes;
+    }
+    EXPECT_EQ(snap.net_payload_bytes,
+              snap.ipc_cross_bytes + snap.ship_bytes + snap.store.fetched_bytes)
+        << "seed=" << seed << " fault=" << static_cast<int>(fault);
+    EXPECT_EQ(link_bytes, snap.net_payload_bytes)
+        << "seed=" << seed << " fault=" << static_cast<int>(fault);
+    return sim.now();
+  };
+  SimTime finish = run(PairFault::kNone, 0);
+  ASSERT_GT(finish, 0);
+  Rng rng(seed ^ 0xB17E5ULL);
+  constexpr PairFault kFaults[] = {
+      PairFault::kKillProducerReplica, PairFault::kKillConsumerReplica,
+      PairFault::kMigrateProducer, PairFault::kMigrateConsumer};
+  PairFault fault = kFaults[rng.NextBounded(4)];
+  double frac = 0.1 + 0.7 * rng.NextDouble();
+  (void)run(fault, static_cast<SimTime>(frac * static_cast<double>(finish)));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ByteConservationPropertyTest,
+                         ::testing::ValuesIn(StressSeeds(
+                             {501, 502, 503, 504, 505, 506}, 0xB17)));
+
+// ---- Multi-hop replay bit-identity (property) --------------------------
+
+class TwoRackSplitPairPropertyTest
+    : public ::testing::TestWithParam<uint64_t> {};
+
+// The ISSUE 6 acceptance property survives multi-hop routing: on the 2-rack
+// graph (every producer->consumer byte crosses rack switches, some the
+// uplink), a random seeded kill/migrate of ONE endpoint keeps both outputs
+// bit-identical to the fault-free 2-rack run. Routing is deterministic, so
+// timing shifts never leak into payloads.
+TEST_P(TwoRackSplitPairPropertyTest, MultiHopRoutingStaysBitIdentical) {
+  uint64_t seed = GetParam();
+  PairRun baseline = RunSplitPair(seed, PairFault::kNone, 0, /*two_rack=*/true);
+  ASSERT_FALSE(baseline.consumer_out.empty());
+  EXPECT_GT(baseline.snap.net_multi_hop, 0u);  // Really crossed switches.
+  Rng rng(seed ^ 0x2AC5ULL);
+  constexpr PairFault kFaults[] = {
+      PairFault::kKillProducerReplica, PairFault::kKillConsumerReplica,
+      PairFault::kMigrateProducer, PairFault::kMigrateConsumer};
+  PairFault fault = kFaults[rng.NextBounded(4)];
+  double frac = 0.1 + 0.7 * rng.NextDouble();
+  SimTime at = static_cast<SimTime>(frac * static_cast<double>(baseline.finish));
+  PairRun faulted = RunSplitPair(seed, fault, at, /*two_rack=*/true);
+  EXPECT_GT(faulted.snap.net_multi_hop, 0u);
+  EXPECT_EQ(faulted.producer_out, baseline.producer_out)
+      << "seed=" << seed << " fault=" << static_cast<int>(fault)
+      << " frac=" << frac;
+  EXPECT_EQ(faulted.consumer_out, baseline.consumer_out)
+      << "seed=" << seed << " fault=" << static_cast<int>(fault)
+      << " frac=" << frac;
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TwoRackSplitPairPropertyTest,
+                         ::testing::ValuesIn(StressSeeds(
+                             {601, 602, 603, 604, 605, 606}, 0x2AC)));
 
 }  // namespace
 }  // namespace symphony

@@ -10,6 +10,7 @@
 #include "src/faults/fault_plan.h"
 #include "src/model/cost_model.h"
 #include "src/model/model_config.h"
+#include "src/net/topology.h"
 #include "src/recovery/journal.h"
 #include "src/sim/event_queue.h"
 #include "src/store/journal_checkpoint.h"
@@ -149,6 +150,46 @@ TEST(SnapshotStoreTest, FetchMovesBytesOnlyForChunksTheReplicaLacks) {
   EXPECT_EQ(again->bytes_fetched, 0u);
   EXPECT_EQ(store.stats().fetched_bytes, data.size());
   EXPECT_GT(store.stats().local_hit_bytes, 0u);
+}
+
+// With a topology wired in, fetches route moved chunks from the nearest
+// caching replica over physical links instead of the flat cost-model charge.
+// On the idle single-switch mesh both agree exactly; local and repeat
+// fetches still move nothing and take no time.
+TEST(SnapshotStoreTest, FetchRoutesMovedChunksThroughTheTopology) {
+  Simulator sim;
+  CostModel cost(ModelConfig::Tiny());
+  NetworkTopology topo(&sim, &cost, nullptr, nullptr);
+  SnapshotStoreOptions options;
+  options.chunk_bytes = 1024;
+  options.sim = &sim;
+  options.cost = &cost;
+  options.topology = &topo;
+  SnapshotStore store(options);
+  std::string data = VariedBytes(5 * 1024, 29);
+  PublishResult pub = store.Publish(0, Payload("p", 1, 40, data));
+  StatusOr<FetchResult> local = store.Fetch(0, pub.key);
+  ASSERT_TRUE(local.ok());
+  EXPECT_EQ(local->transfer_time, 0);
+  EXPECT_EQ(topo.stats().transfers, 0u);  // Nothing moved, nothing routed.
+  StatusOr<FetchResult> remote = store.Fetch(1, pub.key);
+  ASSERT_TRUE(remote.ok());
+  EXPECT_EQ(remote->bytes_fetched, data.size());
+  // Idle single-source transfer == the legacy flat charge, and the bytes are
+  // now visible on the publisher->fetcher link.
+  EXPECT_EQ(remote->transfer_time, cost.NetworkTime(data.size()));
+  EXPECT_EQ(topo.stats().transfers, 1u);
+  EXPECT_EQ(topo.stats().payload_bytes, data.size());
+  std::vector<TopoLinkReport> links = topo.LinkReport();
+  ASSERT_EQ(links.size(), 1u);
+  EXPECT_EQ(links[0].name, "link:replica0->replica1");
+  EXPECT_EQ(links[0].stats.bytes, data.size());
+  // The fetch warmed replica 1's cache: repeating it routes nothing.
+  StatusOr<FetchResult> again = store.Fetch(1, pub.key);
+  ASSERT_TRUE(again.ok());
+  EXPECT_EQ(again->bytes_fetched, 0u);
+  EXPECT_EQ(again->transfer_time, 0);
+  EXPECT_EQ(topo.stats().transfers, 1u);
 }
 
 // ---- Corruption detection -----------------------------------------------
