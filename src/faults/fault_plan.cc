@@ -112,6 +112,12 @@ SimDuration FaultPlan::OnIpcDeliver(size_t replica, SimTime now) {
 
 void FaultPlan::ArmKvPressure(Simulator* sim, Kvfs* kvfs) {
   for (const KvPressureSpec& spec : pressure_) {
+    // A server (re)built mid-simulation — replica readmission, elastic
+    // scale-out — must not re-open windows that already started; only
+    // windows still ahead of the clock are armed on its fresh KVFS.
+    if (spec.at < sim->now()) {
+      continue;
+    }
     sim->ScheduleAt(spec.at, [this, sim, kvfs, spec] {
       StatusOr<KvHandle> handle = kvfs->CreateAnonymous(kAdminLip);
       if (!handle.ok()) {

@@ -21,7 +21,16 @@
 //                        and kResourceExhausted on competing allocations.
 //   * Replica kills    — a schedule of KillReplica times; SymphonyCluster
 //                        arms these at construction when the plan is set in
-//                        ServerOptions::fault_plan.
+//                        ServerOptions::fault_plan. Kills are MANUAL and
+//                        permanent: the cluster is told, fails over
+//                        immediately, and the replica never returns.
+//   * Replica crashes  — the autonomic variant (CrashReplicaAt): the
+//                        replica's runtime halts silently — nothing tells
+//                        the cluster — so only the control plane's missed
+//                        heartbeats can discover it. With down_for >= 0 the
+//                        process heals at `at + down_for` and may be
+//                        re-admitted (fenced at a bumped epoch); down_for
+//                        < 0 keeps it down forever.
 //   * Partitions       — windows during which the interconnect between one
 //                        replica pair drops traffic (symmetric). The IPC
 //                        fabric (src/net) consults OnIpcTransmit per transfer
@@ -88,6 +97,17 @@ struct KvCorruptionSpec {
   double prob = 1.0;
 };
 
+// A silent replica crash at `at`: the runtime halts with NO notification to
+// the cluster (contrast KillReplicaAt, which routes through KillReplica and
+// fails over immediately). Detection is the control plane's job. down_for
+// >= 0 heals the process at `at + down_for`, making the replica eligible
+// for readmission; down_for < 0 = down forever.
+struct CrashSpec {
+  size_t replica = 0;
+  SimTime at = 0;
+  SimDuration down_for = -1;
+};
+
 // A symmetric network partition between replicas `a` and `b` during
 // [at, at + duration): every IPC transfer attempt between them is blocked.
 struct PartitionSpec {
@@ -145,6 +165,10 @@ class FaultPlan {
 
   void KillReplicaAt(size_t replica, SimTime at) {
     kills_.emplace_back(replica, at);
+  }
+
+  void CrashReplicaAt(size_t replica, SimTime at, SimDuration down_for = -1) {
+    crashes_.push_back(CrashSpec{replica, at, down_for});
   }
 
   void AddKvPressure(SimTime at, SimDuration duration, uint64_t pages) {
@@ -222,6 +246,10 @@ class FaultPlan {
   const std::vector<std::pair<size_t, SimTime>>& replica_kills() const {
     return kills_;
   }
+  const std::vector<CrashSpec>& crashes() const { return crashes_; }
+  // Partition windows, exposed so the control plane can schedule readmission
+  // probes at window ends instead of polling.
+  const std::vector<PartitionSpec>& partitions() const { return partitions_; }
   const FaultPlanStats& stats() const { return stats_; }
   uint64_t seed() const { return seed_; }
 
@@ -229,6 +257,7 @@ class FaultPlan {
   uint64_t seed_;
   std::unordered_map<std::string, ToolFaultSpec> tool_faults_;
   std::vector<std::pair<size_t, SimTime>> kills_;
+  std::vector<CrashSpec> crashes_;
   std::vector<KvPressureSpec> pressure_;
   std::vector<KvCorruptionSpec> corruption_;
   std::vector<PartitionSpec> partitions_;

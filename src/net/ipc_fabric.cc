@@ -32,9 +32,31 @@ void IpcFabric::AttachReplica(size_t index, LipRuntime* runtime) {
   if (index >= runtimes_.size()) {
     runtimes_.resize(index + 1, nullptr);
     dead_.resize(index + 1, false);
+    fenced_.resize(index + 1, false);
+    fence_epoch_.resize(index + 1, 0);
     replica_stats_.resize(index + 1);
   }
   runtimes_[index] = runtime;
+}
+
+void IpcFabric::FenceReplica(size_t index, uint64_t epoch) {
+  if (index >= fenced_.size()) {
+    assert(false && "FenceReplica on an unattached replica index");
+    return;
+  }
+  fenced_[index] = true;
+  fence_epoch_[index] = std::max(fence_epoch_[index], epoch);
+  DropReplicaWaiters(index);
+}
+
+void IpcFabric::ReviveReplica(size_t index, LipRuntime* runtime) {
+  if (index >= runtimes_.size()) {
+    assert(false && "ReviveReplica on an unattached replica index");
+    return;
+  }
+  runtimes_[index] = runtime;
+  dead_[index] = false;
+  fenced_[index] = false;
 }
 
 void IpcFabric::MarkReplicaDead(size_t index) {
@@ -73,6 +95,14 @@ IpcFabric::ChannelState& IpcFabric::Chan(const std::string& name) {
 bool IpcFabric::TrySend(size_t replica, LipId sender,
                         const std::string& channel, std::string* message) {
   (void)sender;  // Channel identity is receiver-side; senders stay anonymous.
+  if (replica_fenced(replica)) {
+    // A fenced incarnation's packets are dropped on the floor: report the
+    // send handled (fire-and-forget, like a real network eating the frame)
+    // so the zombie never parks, and count the rejection.
+    ++stats_.fenced_rejections;
+    message->clear();
+    return true;
+  }
   ChannelState& ch = Chan(channel);
   // FIFO among senders: a fresh send never overtakes parked ones, even when
   // a credit is momentarily free (DrainSenders will hand it to the head).
@@ -110,6 +140,10 @@ void IpcFabric::Accept(size_t replica, const std::string& name,
 void IpcFabric::AddSendWaiter(size_t replica, LipId sender,
                               const std::string& channel, ThreadId waiter,
                               std::string* slot, uint64_t resume_grant) {
+  if (replica_fenced(replica)) {
+    ++stats_.fenced_rejections;  // See AddWaiter: never park a zombie.
+    return;
+  }
   ChannelState& ch = Chan(channel);
   // A replayed thread's first re-park carries the grant ordinal after its
   // last journaled credit wait. Replay fast-forwards threads in dispatch
@@ -264,6 +298,12 @@ void IpcFabric::CheckDeadlock(const std::string& name, ChannelState& origin) {
 bool IpcFabric::TryRecv(size_t replica, LipId receiver,
                         const std::string& channel, std::string* message,
                         uint64_t* ordinal) {
+  if (replica_fenced(replica)) {
+    // A fenced incarnation must not consume a message its replayed
+    // successor is entitled to (that would break exactly-once delivery).
+    ++stats_.fenced_rejections;
+    return false;
+  }
   ChannelState& ch = Chan(channel);
   Register(channel, ch, replica, receiver);
   // FIFO fairness: a fresh receiver never overtakes parked waiters.
@@ -288,6 +328,12 @@ bool IpcFabric::TryRecv(size_t replica, LipId receiver,
 void IpcFabric::AddWaiter(size_t replica, LipId receiver,
                           const std::string& channel, ThreadId waiter,
                           std::string* slot, uint64_t resume_ordinal) {
+  if (replica_fenced(replica)) {
+    // Never park a zombie: its thread will not be resumed (the replica is
+    // halted) and a parked fenced waiter would absorb a delivery.
+    ++stats_.fenced_rejections;
+    return;
+  }
   ChannelState& ch = Chan(channel);
   Register(channel, ch, replica, receiver);
   // A replayed thread's first re-park carries the ordinal it was waiting for

@@ -132,6 +132,7 @@ struct IpcFabricStats {
   uint64_t credit_waits = 0;       // Senders parked for a credit.
   uint64_t credit_grants = 0;      // Parked senders granted a freed credit.
   uint64_t credit_deadlocks = 0;   // Channels flagged kDeadlock (once each).
+  uint64_t fenced_rejections = 0;  // Sends/recvs refused from fenced replicas.
 };
 
 // Introspection snapshot of one channel (tests, bench reports).
@@ -171,6 +172,29 @@ class IpcFabric : public ChannelFabric {
   // Replica failure: its parked waiters are scrubbed. Messages located there
   // stay queued — they are forwarded when their endpoint is rehomed.
   void MarkReplicaDead(size_t index);
+
+  // ---- Fencing (control plane, src/ctrl) --------------------------------
+
+  // Fences replica `index` at generation `epoch`: until revived, sends from
+  // it are discarded at the fabric boundary and recvs/parks from it are
+  // refused (counted in stats().fenced_rejections). The runtime is halted by
+  // the cluster before fencing, so these guards are the defense-in-depth
+  // layer that makes a zombie incarnation provably unable to interact —
+  // exactly-once ownership for replayed LIPs does not rest on the halt
+  // alone.
+  void FenceReplica(size_t index, uint64_t epoch);
+
+  // Readmission: swaps in the rebuilt replica's runtime and clears the dead
+  // and fence flags. The fence epoch is retained as the slot's generation
+  // high-water mark (replica_fence_epoch).
+  void ReviveReplica(size_t index, LipRuntime* runtime);
+
+  bool replica_fenced(size_t index) const {
+    return index < fenced_.size() && fenced_[index];
+  }
+  uint64_t replica_fence_epoch(size_t index) const {
+    return index < fence_epoch_.size() ? fence_epoch_[index] : 0;
+  }
 
   // Moves every channel homed at (old_replica, old_lip) to
   // (new_replica, new_lip) and forwards its queued messages to the new home
@@ -308,6 +332,8 @@ class IpcFabric : public ChannelFabric {
   IpcFabricOptions options_;
   std::vector<LipRuntime*> runtimes_;
   std::vector<bool> dead_;
+  std::vector<bool> fenced_;
+  std::vector<uint64_t> fence_epoch_;
   std::vector<IpcReplicaStats> replica_stats_;
   // std::map: deterministic iteration order for RehomeEndpoint.
   std::map<std::string, ChannelState> channels_;

@@ -49,6 +49,7 @@ NetworkTopology::NetworkTopology(Simulator* sim, const CostModel* cost,
   replica_count_ = replicas;
   for (size_t i = 0; i < replicas; ++i) {
     names_.push_back("replica" + std::to_string(i));
+    replica_node_.push_back(i);
   }
   size_t rack0 = names_.size();
   names_.push_back("rack0");
@@ -58,6 +59,12 @@ NetworkTopology::NetworkTopology(Simulator* sim, const CostModel* cost,
   for (size_t i = 0; i < replicas; ++i) {
     AddBidirectionalEdge(i, i < split ? rack0 : rack1, edge_bw, edge_lat);
   }
+  rack0_node_ = rack0;
+  rack1_node_ = rack1;
+  rack_members_[0] = split;
+  rack_members_[1] = replicas - split;
+  edge_bw_ = edge_bw;
+  edge_lat_ = edge_lat;
   AddBidirectionalEdge(rack0, rack1, up_bw, up_lat);
   if (options_.spine) {
     size_t spine = names_.size();
@@ -78,13 +85,40 @@ void NetworkTopology::EnsureReplica(size_t index) {
   if (index < replica_count_) {
     return;
   }
-  // Fixed presets size their graph at construction; a replica outside it is
-  // a wiring bug, not something to paper over by growing the graph.
+  // Fixed presets size their graph at construction and grow only through
+  // AddReplica; a replica index outside the built graph is a wiring bug.
   assert(adj_.empty() && "replica index outside the fixed topology graph");
   while (replica_count_ <= index) {
     names_.push_back("replica" + std::to_string(replica_count_));
+    replica_node_.push_back(replica_count_);
     ++replica_count_;
   }
+}
+
+size_t NetworkTopology::AddReplica() {
+  size_t index = replica_count_;
+  if (adj_.empty()) {
+    EnsureReplica(index);  // Mesh: node id == replica index.
+    return index;
+  }
+  // Switch preset: the new node lands past the switches, so it gets its own
+  // node id and an edge to the emptier rack. A leaf never shortens an
+  // existing route, so memoized static paths stay valid.
+  size_t node = names_.size();
+  names_.push_back("replica" + std::to_string(index));
+  adj_.emplace_back();
+  size_t rack_slot = rack_members_[0] <= rack_members_[1] ? 0 : 1;
+  size_t rack = rack_slot == 0 ? rack0_node_ : rack1_node_;
+  AddBidirectionalEdge(node, rack, edge_bw_, edge_lat_);
+  ++rack_members_[rack_slot];
+  replica_node_.push_back(node);
+  ++replica_count_;
+  return index;
+}
+
+size_t NetworkTopology::NodeOf(size_t replica) const {
+  assert(replica < replica_node_.size());
+  return replica_node_[replica];
 }
 
 Link& NetworkTopology::LinkFor(size_t from, size_t to) {
@@ -214,17 +248,21 @@ std::vector<size_t> NetworkTopology::PathFor(size_t from, size_t to,
 }
 
 bool NetworkTopology::Routable(size_t from, size_t to, SimTime now) {
-  if (faults_ == nullptr || faults_->link_downs().empty() || from == to) {
-    return true;
-  }
-  EnsureReplica(std::max(from, to));
-  bool rerouted = false;
-  if (!PathFor(from, to, now, &rerouted).empty()) {
+  if (HasRoute(from, to, now)) {
     return true;
   }
   ++stats_.blocked;
   faults_->NoteLinkBlocked();
   return false;
+}
+
+bool NetworkTopology::HasRoute(size_t from, size_t to, SimTime now) {
+  if (faults_ == nullptr || faults_->link_downs().empty() || from == to) {
+    return true;
+  }
+  EnsureReplica(std::max(from, to));
+  bool rerouted = false;
+  return !PathFor(NodeOf(from), NodeOf(to), now, &rerouted).empty();
 }
 
 SimTime NetworkTopology::Transfer(size_t from, size_t to, uint64_t bytes,
@@ -237,7 +275,9 @@ SimTime NetworkTopology::Transfer(size_t from, size_t to, uint64_t bytes,
     return now;
   }
   bool rerouted = false;
-  std::vector<size_t> path = PathFor(from, to, now, &rerouted);
+  size_t from_node = NodeOf(from);
+  size_t to_node = NodeOf(to);
+  std::vector<size_t> path = PathFor(from_node, to_node, now, &rerouted);
   if (rerouted) {
     ++stats_.reroutes;
     faults_->NoteLinkBlocked();
@@ -245,7 +285,7 @@ SimTime NetworkTopology::Transfer(size_t from, size_t to, uint64_t bytes,
   if (path.empty()) {
     // Fully severed cut: charge the static route deterministically rather
     // than drop the bytes. Callers gate on Routable() to avoid this.
-    path = StaticPath(from, to);
+    path = StaticPath(from_node, to_node);
   }
   if (path.size() > 2) {
     ++stats_.multi_hop_transfers;
@@ -267,7 +307,7 @@ SimDuration NetworkTopology::Distance(size_t from, size_t to) {
   if (adj_.empty()) {
     return cost_->hardware().interconnect_latency;
   }
-  const std::vector<size_t>& path = StaticPath(from, to);
+  const std::vector<size_t>& path = StaticPath(NodeOf(from), NodeOf(to));
   SimDuration total = 0;
   for (size_t i = 0; i + 1 < path.size(); ++i) {
     const Edge* edge = EdgeBetween(path[i], path[i + 1]);

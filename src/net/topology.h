@@ -116,12 +116,25 @@ class NetworkTopology {
   NetworkTopology& operator=(const NetworkTopology&) = delete;
 
   // Makes sure replica `index` exists as a node. kSingleSwitch grows the
-  // mesh; fixed presets assert the index is within the built graph.
+  // mesh; fixed presets assert the index is within the built graph (runtime
+  // growth on them goes through AddReplica).
   void EnsureReplica(size_t index);
+
+  // Runtime elasticity: attaches one new replica and returns its index.
+  // kSingleSwitch grows the mesh; kTwoRack hangs the new node off whichever
+  // rack switch has fewer replicas (ties toward rack0) with the preset's
+  // edge parameters. Existing routes are unaffected — the newcomer is a
+  // leaf, so memoized static paths stay valid.
+  size_t AddReplica();
 
   // True when at least one live path connects the replicas at `now`.
   // Counts a blocked transfer attempt when it answers false.
   bool Routable(size_t from, size_t to, SimTime now);
+
+  // Routable without the stats/fault-plan accounting: the control plane's
+  // heartbeat path consults this every beat, and a mere liveness check must
+  // not inflate blocked-transfer counters.
+  bool HasRoute(size_t from, size_t to, SimTime now);
 
   // Charges one end-to-end transfer of `bytes` starting now and returns its
   // absolute arrival time: each hop serializes on its link (queueing behind
@@ -156,6 +169,10 @@ class NetworkTopology {
 
   void AddBidirectionalEdge(size_t a, size_t b, double bandwidth,
                             SimDuration latency);
+  // Node id of a replica index. Identity on the mesh; on switch presets a
+  // replica added after construction gets a node id past the switches, so
+  // every public entry point translates through this.
+  size_t NodeOf(size_t replica) const;
   Link& LinkFor(size_t from, size_t to);
   bool LinkUp(size_t a, size_t b, SimTime now) const;
   const Edge* EdgeBetween(size_t from, size_t to) const;
@@ -176,6 +193,14 @@ class NetworkTopology {
   TraceRecorder* trace_;   // Optional.
   TopologyOptions options_;
   size_t replica_count_ = 0;
+  std::vector<size_t> replica_node_;     // Replica index -> node id.
+  // kTwoRack growth state: rack switch node ids, per-rack replica counts,
+  // and the edge parameters new members attach with.
+  size_t rack0_node_ = SIZE_MAX;
+  size_t rack1_node_ = SIZE_MAX;
+  size_t rack_members_[2] = {0, 0};
+  double edge_bw_ = 0;
+  SimDuration edge_lat_ = 0;
   std::vector<std::string> names_;       // Node id -> name.
   std::vector<std::vector<Edge>> adj_;   // Switch presets; empty for mesh.
   // std::map: deterministic LinkReport order.

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cassert>
+#include <tuple>
 
 #include "src/common/hash.h"
 #include "src/common/logging.h"
@@ -14,14 +15,15 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   assert(options_.replicas > 0);
   replicas_.reserve(options_.replicas);
   for (size_t i = 0; i < options_.replicas; ++i) {
-    ServerOptions server_options = options_.server;
-    // Decorrelate per-replica randomness (tool latencies etc.).
-    server_options.runtime.seed = options_.server.runtime.seed + i * 7919;
-    server_options.tool_seed = options_.server.tool_seed + i * 104729;
-    replicas_.push_back(std::make_unique<SymphonyServer>(sim, server_options));
+    replicas_.push_back(BuildReplica(i));
   }
   launched_per_replica_.assign(options_.replicas, 0);
   dead_.assign(options_.replicas, false);
+  draining_.assign(options_.replicas, false);
+  fenced_.assign(options_.replicas, false);
+  crashed_.assign(options_.replicas, false);
+  retired_.assign(options_.replicas, false);
+  crash_heal_at_.assign(options_.replicas, -1);
   cost_model_ = std::make_unique<CostModel>(options_.server.model,
                                             options_.server.hardware);
   // ONE topology instance routes every cross-replica byte: IPC, journal
@@ -61,31 +63,96 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
         }
       });
     }
+    // Crashes are silent: the process halts and NOTHING is told — only the
+    // control plane's missed heartbeats can detect it (the acceptance test
+    // for autonomic recovery). Without the control plane a crashed replica
+    // simply stays down.
+    for (const CrashSpec& spec : options_.server.fault_plan->crashes()) {
+      sim_->ScheduleAt(spec.at, [this, spec] {
+        (void)CrashReplica(spec.replica, spec.down_for);
+      });
+    }
   }
+  if (options_.ctrl.enabled) {
+    // The base cast must happen here, in member context: the inheritance is
+    // private (the ClusterControl surface is an implementation detail).
+    ctrl_ = std::make_unique<ControlPlane>(
+        sim_, static_cast<ClusterControl*>(this), topology_.get(),
+        options_.server.fault_plan, options_.server.trace, options_.ctrl);
+  }
+}
+
+std::unique_ptr<SymphonyServer> SymphonyCluster::BuildReplica(
+    size_t index) const {
+  ServerOptions server_options = options_.server;
+  // Decorrelate per-replica randomness (tool latencies etc.). A readmitted
+  // slot rebuilds with the same seeds: determinism is per slot, and the
+  // replayed LIPs draw from their own uid-derived streams anyway.
+  server_options.runtime.seed = options_.server.runtime.seed + index * 7919;
+  server_options.tool_seed = options_.server.tool_seed + index * 104729;
+  auto server = std::make_unique<SymphonyServer>(sim_, server_options);
+  // Same setup for every incarnation of the slot: a replica rebuilt by
+  // readmission (or added by scale-out) must serve the same tools as the
+  // original fleet, or replayed/new LIPs would observe a different server.
+  if (options_.configure_replica) {
+    options_.configure_replica(*server, index);
+  }
+  return server;
+}
+
+std::vector<uint64_t> SymphonyCluster::StrandedLips() const {
+  std::vector<uint64_t> stranded;
+  for (const auto& entry : records_) {
+    const LipRecord& rec = entry.second;
+    if (!rec.done && !rec.in_flight && dead_[rec.replica]) {
+      stranded.push_back(rec.uid);
+    }
+  }
+  std::sort(stranded.begin(), stranded.end());
+  return stranded;
+}
+
+bool SymphonyCluster::Placeable(size_t index) const {
+  return !dead_[index] && !draining_[index] &&
+         !replicas_[index]->runtime().halted();
+}
+
+bool SymphonyCluster::Avoided(size_t index) const {
+  return ctrl_ != nullptr &&
+         ctrl_->Health(index) == ReplicaHealth::kSuspected;
 }
 
 size_t SymphonyCluster::LeastLoaded() const {
-  size_t best = replicas_.size();
-  size_t best_load = SIZE_MAX;
-  for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (dead_[i]) {
-      continue;
+  // Two passes: suspected replicas (control-plane detector) lose placements
+  // to healthy ones, but remain better than nothing when all else is down.
+  for (int pass = 0; pass < 2; ++pass) {
+    size_t best = replicas_.size();
+    size_t best_load = SIZE_MAX;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (!Placeable(i) || (pass == 0 && Avoided(i))) {
+        continue;
+      }
+      size_t load = replicas_[i]->runtime().live_lips();
+      if (load < best_load) {
+        best = i;
+        best_load = load;
+      }
     }
-    size_t load = replicas_[i]->runtime().live_lips();
-    if (load < best_load) {
-      best = i;
-      best_load = load;
+    if (best < replicas_.size()) {
+      return best;
     }
   }
-  assert(best < replicas_.size() && "no live replica");
-  return best;
+  assert(false && "no live replica");
+  return 0;
 }
 
 size_t SymphonyCluster::FirstLiveFrom(size_t preferred) const {
-  for (size_t probe = 0; probe < replicas_.size(); ++probe) {
-    size_t i = (preferred + probe) % replicas_.size();
-    if (!dead_[i]) {
-      return i;
+  for (int pass = 0; pass < 2; ++pass) {
+    for (size_t probe = 0; probe < replicas_.size(); ++probe) {
+      size_t i = (preferred + probe) % replicas_.size();
+      if (Placeable(i) && (pass == 1 || !Avoided(i))) {
+        return i;
+      }
     }
   }
   assert(false && "no live replica");
@@ -116,7 +183,7 @@ size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
       size_t total_live = 0;
       size_t live_replicas = 0;
       for (size_t i = 0; i < replicas_.size(); ++i) {
-        if (dead_[i]) {
+        if (!Placeable(i)) {
           continue;
         }
         total_live += replicas_[i]->runtime().live_lips();
@@ -174,6 +241,9 @@ std::function<void(LipId)> SymphonyCluster::MakeOnExit(uint64_t uid) {
     }
     LipRecord& rec = it->second;
     rec.done = true;
+    // Cache the output: the hosting slot may be rebuilt by readmission after
+    // this LIP is gone, and Output() must keep answering.
+    rec.output = replicas_[rec.replica]->runtime().Output(lip);
     // The journal's life is over: drop its checkpoint's store reference.
     if (rec.journal != nullptr && rec.journal->checkpoint_key() != 0) {
       (void)store_->Release(rec.journal->checkpoint_key());
@@ -223,6 +293,9 @@ SymphonyCluster::ClusterLip SymphonyCluster::Launch(
   if (!options_.enable_recovery) {
     LipId lip = replicas_[replica]->Launch(std::move(name), std::move(program),
                                            std::move(on_exit));
+    if (ctrl_ != nullptr) {
+      ctrl_->Kick();  // New work: (re)arm heartbeat/sweep/scaling chains.
+    }
     return ClusterLip{replica, lip, 0};
   }
   uint64_t uid = next_uid_++;
@@ -243,6 +316,11 @@ SymphonyCluster::ClusterLip SymphonyCluster::Launch(
                                    MakeOnExit(uid));
   runtime.EnableJournal(rec.lip, rec.journal);
   InstallCheckpointHook(rec.journal, replica);
+  if (ctrl_ != nullptr) {
+    // AFTER the record lands: Kick is gated on ControlHasWork, and this
+    // launch may be the first work the cluster has seen.
+    ctrl_->Kick();
+  }
   return ClusterLip{replica, rec.lip, uid};
 }
 
@@ -251,18 +329,20 @@ SymphonyCluster::ClusterAdmitResult SymphonyCluster::Submit(
   size_t preferred = RouteFor(affinity_key);
   MaybeShedOnOverflow();
   // Candidate order: the routed replica first, then (with reroute enabled)
-  // the other live replicas from least to most loaded.
+  // the other placeable replicas from least to most loaded, with
+  // control-plane-suspected replicas demoted to the very end.
   std::vector<size_t> candidates{preferred};
   if (options_.reroute_on_reject) {
-    std::vector<std::pair<size_t, size_t>> rest;  // (live lips, replica)
+    // (suspected, live lips, replica)
+    std::vector<std::tuple<bool, size_t, size_t>> rest;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (i == preferred || dead_[i]) {
+      if (i == preferred || !Placeable(i)) {
         continue;
       }
-      rest.emplace_back(replicas_[i]->runtime().live_lips(), i);
+      rest.emplace_back(Avoided(i), replicas_[i]->runtime().live_lips(), i);
     }
     std::sort(rest.begin(), rest.end());
-    for (const auto& [load, i] : rest) {
+    for (const auto& [avoided, load, i] : rest) {
       candidates.push_back(i);
     }
   }
@@ -281,6 +361,11 @@ SymphonyCluster::ClusterAdmitResult SymphonyCluster::Submit(
       out.rerouted = c != preferred;
       if (out.rerouted) {
         ++submit_reroutes_;
+      }
+      if (ctrl_ != nullptr) {
+        // AFTER the admit/queue landed: Kick is gated on ControlHasWork and
+        // this may be the cluster's first work.
+        ctrl_->Kick();
       }
       return out;
     }
@@ -388,12 +473,13 @@ void SymphonyCluster::StartReplay(uint64_t uid, size_t target,
     rec.in_flight = false;
     return;
   }
-  if (dead_[target]) {
-    // The target died while the journal was in flight; divert to a survivor
-    // (the journal bytes already moved — no second shipping charge).
+  if (!Placeable(target)) {
+    // The target died (or started draining / crashed) while the journal was
+    // in flight; divert to a survivor (the journal bytes already moved — no
+    // second shipping charge).
     bool any_live = false;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      any_live = any_live || !dead_[i];
+      any_live = any_live || Placeable(i);
     }
     if (!any_live) {
       rec.in_flight = false;
@@ -430,6 +516,20 @@ Status SymphonyCluster::KillReplica(size_t index) {
     return FailedPreconditionError("replica " + std::to_string(index) +
                                    " already dead");
   }
+  // Manual kills are permanent: the slot is retired (never readmitted) and
+  // the control plane is told so it stops monitoring instead of burning a
+  // detection window discovering what the caller already knows.
+  retired_[index] = true;
+  if (ctrl_ != nullptr) {
+    ctrl_->NoteManualDeath(index);
+  }
+  return FailReplica(index);
+}
+
+Status SymphonyCluster::FailReplica(size_t index) {
+  if (dead_[index]) {
+    return Status::Ok();  // ControlFailover after a manual kill raced: done.
+  }
   dead_[index] = true;
   LipRuntime& runtime = replicas_[index]->runtime();
   if (options_.server.trace != nullptr) {
@@ -438,7 +538,8 @@ Status SymphonyCluster::KillReplica(size_t index) {
                                    sim_->now());
   }
   // Collect the victims before halting: LipDone() still answers afterwards,
-  // but the order keeps this readable.
+  // but the order keeps this readable. (On the autonomic path the runtime
+  // was already halted by the fence — collection only reads.)
   std::vector<uint64_t> victims;
   for (auto& entry : records_) {
     LipRecord& rec = entry.second;
@@ -456,7 +557,7 @@ Status SymphonyCluster::KillReplica(size_t index) {
   }
   bool any_live = false;
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    any_live = any_live || !dead_[i];
+    any_live = any_live || Placeable(i);
   }
   if (!any_live) {
     return FailedPreconditionError("no surviving replica to fail over to");
@@ -469,14 +570,14 @@ Status SymphonyCluster::KillReplica(size_t index) {
   std::sort(victims.begin(), victims.end());
   std::vector<size_t> planned(replicas_.size(), 0);
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    planned[i] = dead_[i] ? SIZE_MAX : replicas_[i]->runtime().live_lips();
+    planned[i] = Placeable(i) ? replicas_[i]->runtime().live_lips() : SIZE_MAX;
   }
   for (uint64_t uid : victims) {
     size_t target = 0;
     size_t best = SIZE_MAX;
     SimDuration best_dist = 0;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (dead_[i]) {
+      if (!Placeable(i)) {
         continue;
       }
       // Topology-aware spreading: equal planned load breaks toward the
@@ -499,6 +600,282 @@ Status SymphonyCluster::KillReplica(size_t index) {
   return Status::Ok();
 }
 
+Status SymphonyCluster::CrashReplica(size_t index, SimDuration down_for) {
+  if (index >= replicas_.size()) {
+    return InvalidArgumentError("no replica " + std::to_string(index));
+  }
+  if (dead_[index] || crashed_[index]) {
+    return FailedPreconditionError("replica " + std::to_string(index) +
+                                   " already down");
+  }
+  crashed_[index] = true;
+  crash_heal_at_[index] = down_for < 0 ? -1 : sim_->now() + down_for;
+  // Silent: the runtime halts (its heartbeats stop with it) but no cluster
+  // component is marked dead — detection is the control plane's job.
+  replicas_[index]->runtime().Halt();
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant("recovery",
+                                   "crash:replica" + std::to_string(index),
+                                   sim_->now());
+  }
+  if (down_for >= 0) {
+    sim_->ScheduleAt(crash_heal_at_[index], [this, index] {
+      if (ctrl_ != nullptr) {
+        ctrl_->NoteReplicaHealed(index);
+      }
+    });
+  }
+  return Status::Ok();
+}
+
+size_t SymphonyCluster::AddReplica() {
+  size_t index = ControlAddReplica();
+  if (index != kNoReplica && ctrl_ != nullptr) {
+    ctrl_->NoteReplicaAdded(index);
+  }
+  return index;
+}
+
+Status SymphonyCluster::DrainReplica(size_t index) {
+  if (index >= replicas_.size()) {
+    return InvalidArgumentError("no replica " + std::to_string(index));
+  }
+  if (!options_.enable_recovery) {
+    return FailedPreconditionError("drain requires enable_recovery");
+  }
+  if (!ControlStartDrain(index)) {
+    return FailedPreconditionError(
+        "replica " + std::to_string(index) +
+        " cannot drain (not serving, or no other placeable replica)");
+  }
+  if (ctrl_ != nullptr) {
+    ctrl_->NoteDrainStarted(index);  // The sweep completes the detach.
+  } else {
+    PollDrain(index);
+  }
+  return Status::Ok();
+}
+
+void SymphonyCluster::PollDrain(size_t index) {
+  // Manual drains without a control plane finish through this small chain;
+  // it dies with the draining_ flag, so Simulator::Run still terminates.
+  if (!draining_[index]) {
+    return;
+  }
+  if (!ControlDrainComplete(index)) {
+    sim_->ScheduleAfter(Millis(5), [this, index] { PollDrain(index); });
+  }
+}
+
+// ---- ClusterControl (src/ctrl) -----------------------------------------
+
+size_t SymphonyCluster::ControlReplicaCount() const {
+  return replicas_.size();
+}
+
+bool SymphonyCluster::ControlBeating(size_t replica) const {
+  return replica < replicas_.size() && !dead_[replica] &&
+         !crashed_[replica] && !fenced_[replica] &&
+         !replicas_[replica]->runtime().halted();
+}
+
+bool SymphonyCluster::ControlHasWork() const {
+  for (const auto& entry : records_) {
+    if (!entry.second.done) {
+      return true;  // Includes LIPs stranded on a crashed replica.
+    }
+  }
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (draining_[i]) {
+      return true;
+    }
+    if (Placeable(i) && (replicas_[i]->runtime().live_lips() > 0 ||
+                         replicas_[i]->admission_queue_depth() > 0)) {
+      return true;
+    }
+  }
+  return false;
+}
+
+SimTime SymphonyCluster::ControlHealAt(size_t replica) const {
+  if (retired_[replica]) {
+    return -1;  // Manual kill / detached drain: permanent.
+  }
+  if (crashed_[replica]) {
+    return crash_heal_at_[replica];  // -1 when the crash never heals.
+  }
+  return 0;  // Fence-only (false suspicion): the process never went away.
+}
+
+void SymphonyCluster::ControlFence(size_t replica, uint64_t epoch) {
+  // Halt + refusal at every shared surface BEFORE any LIP is re-executed
+  // elsewhere: the old incarnation must be provably inert.
+  replicas_[replica]->runtime().Halt();
+  fabric_->FenceReplica(replica, epoch);
+  store_->SetReplicaFenced(replica, true);
+  fenced_[replica] = true;
+}
+
+void SymphonyCluster::ControlFailover(size_t replica) {
+  (void)FailReplica(replica);  // Counts one failover per victim LIP.
+}
+
+bool SymphonyCluster::ControlReadmit(size_t replica, uint64_t epoch) {
+  if (retired_[replica] || !dead_[replica]) {
+    return false;
+  }
+  if (crashed_[replica] && (crash_heal_at_[replica] < 0 ||
+                            crash_heal_at_[replica] > sim_->now())) {
+    return false;  // Process still down.
+  }
+  // Collect stranded LIPs while this slot is still marked dead: a failover
+  // that found no placeable survivor (everyone fenced by a symmetric
+  // partition) left their records behind, and the readmitted replica is the
+  // first capacity able to rescue them.
+  std::vector<uint64_t> stranded = StrandedLips();
+  // The old incarnation's state is gone; rebuild the slot fresh. The old
+  // server object is parked, not destroyed — pending simulator events may
+  // still name its (halted) runtime.
+  retired_servers_.push_back(std::move(replicas_[replica]));
+  replicas_[replica] = BuildReplica(replica);
+  fabric_->ReviveReplica(replica, &replicas_[replica]->runtime());
+  replicas_[replica]->runtime().set_channel_fabric(fabric_.get(), replica);
+  replicas_[replica]->set_backpressure_hook(
+      [fabric = fabric_.get(), replica] {
+        return fabric->BackpressureDelay(replica);
+      });
+  store_->SetReplicaFenced(replica, false);
+  store_->ForgetReplica(replica);
+  dead_[replica] = false;
+  fenced_[replica] = false;
+  crashed_[replica] = false;
+  draining_[replica] = false;
+  crash_heal_at_[replica] = -1;
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "recovery", "readmit:replica" + std::to_string(replica) + "@epoch" +
+                        std::to_string(epoch),
+        sim_->now());
+  }
+  for (uint64_t uid : stranded) {
+    ReplayOnto(records_[uid], replica);
+    ++failovers_;
+  }
+  return true;
+}
+
+size_t SymphonyCluster::ControlAddReplica() {
+  size_t index = topology_->AddReplica();
+  assert(index == replicas_.size());
+  replicas_.push_back(BuildReplica(index));
+  launched_per_replica_.push_back(0);
+  dead_.push_back(false);
+  draining_.push_back(false);
+  fenced_.push_back(false);
+  crashed_.push_back(false);
+  retired_.push_back(false);
+  crash_heal_at_.push_back(-1);
+  fabric_->AttachReplica(index, &replicas_[index]->runtime());
+  replicas_[index]->runtime().set_channel_fabric(fabric_.get(), index);
+  replicas_[index]->set_backpressure_hook(
+      [fabric = fabric_.get(), index] {
+        return fabric->BackpressureDelay(index);
+      });
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "recovery", "scale-out:replica" + std::to_string(index), sim_->now());
+  }
+  // Fresh capacity rescues any LIPs stranded by a survivor-less failover.
+  for (uint64_t uid : StrandedLips()) {
+    ReplayOnto(records_[uid], index);
+    ++failovers_;
+  }
+  return index;
+}
+
+bool SymphonyCluster::ControlStartDrain(size_t replica) {
+  if (!options_.enable_recovery || replica >= replicas_.size() ||
+      !Placeable(replica)) {
+    return false;
+  }
+  bool other = false;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    other = other || (i != replica && Placeable(i));
+  }
+  if (!other) {
+    return false;  // Nowhere for its LIPs to go.
+  }
+  draining_[replica] = true;  // Placement stops at once.
+  DrainStep(replica);
+  return true;
+}
+
+void SymphonyCluster::DrainStep(size_t index) {
+  std::vector<uint64_t> hosted;
+  for (auto& entry : records_) {
+    LipRecord& rec = entry.second;
+    if (rec.replica == index && !rec.done && !rec.in_flight &&
+        !replicas_[index]->runtime().LipDone(rec.lip)) {
+      hosted.push_back(rec.uid);
+    }
+  }
+  // Sort: records_ iteration order is unordered and placement must be
+  // deterministic.
+  std::sort(hosted.begin(), hosted.end());
+  for (uint64_t uid : hosted) {
+    LipRecord& rec = records_[uid];
+    ClusterLip id{rec.replica, rec.lip, uid};
+    (void)Migrate(id, LeastLoaded());
+  }
+}
+
+bool SymphonyCluster::ControlDrainComplete(size_t replica) {
+  if (!draining_[replica]) {
+    return false;
+  }
+  DrainStep(replica);  // Retry stragglers (e.g. a target that went away).
+  for (const auto& entry : records_) {
+    const LipRecord& rec = entry.second;
+    // In-flight journals still name this replica until their replay lands.
+    if (rec.replica == replica && !rec.done) {
+      return false;
+    }
+  }
+  if (replicas_[replica]->runtime().live_lips() > 0 ||
+      replicas_[replica]->admission_queue_depth() > 0) {
+    return false;  // Untracked (non-recovery or admission-queued) work left.
+  }
+  draining_[replica] = false;
+  dead_[replica] = true;
+  retired_[replica] = true;  // A detached slot is never readmitted.
+  replicas_[replica]->runtime().Halt();
+  fabric_->MarkReplicaDead(replica);
+  if (options_.server.trace != nullptr) {
+    options_.server.trace->Instant(
+        "recovery", "scale-in:replica" + std::to_string(replica), sim_->now());
+  }
+  return true;
+}
+
+ClusterControl::LoadSignal SymphonyCluster::ControlLoadSignal() const {
+  LoadSignal sig;
+  sig.sheds = submit_sheds_;
+  sig.lips.assign(replicas_.size(), kNoReplica);
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (!Placeable(i)) {
+      continue;
+    }
+    ++sig.serving;
+    size_t lips = replicas_[i]->runtime().live_lips();
+    sig.live_lips += lips;
+    sig.lips[i] = lips;
+    sig.queued += replicas_[i]->admission_queue_depth();
+    sig.worst_delay =
+        std::max(sig.worst_delay, replicas_[i]->ProjectedAdmissionDelay());
+  }
+  return sig;
+}
+
 Status SymphonyCluster::Migrate(const ClusterLip& id, size_t to_replica) {
   if (!options_.enable_recovery) {
     return FailedPreconditionError("migration requires enable_recovery");
@@ -511,8 +888,8 @@ Status SymphonyCluster::Migrate(const ClusterLip& id, size_t to_replica) {
   if (to_replica >= replicas_.size()) {
     return InvalidArgumentError("no replica " + std::to_string(to_replica));
   }
-  if (dead_[to_replica]) {
-    return FailedPreconditionError("target replica is dead");
+  if (!Placeable(to_replica)) {
+    return FailedPreconditionError("target replica is not placeable");
   }
   if (dead_[rec.replica]) {
     return FailedPreconditionError("source replica is dead");
@@ -549,7 +926,7 @@ size_t SymphonyCluster::Rebalance() {
   size_t total = 0;
   size_t live_replicas = 0;
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (dead_[i]) {
+    if (!Placeable(i)) {
       continue;
     }
     loads[i] = replicas_[i]->runtime().live_lips();
@@ -571,9 +948,9 @@ size_t SymphonyCluster::Rebalance() {
     double average =
         static_cast<double>(total) / static_cast<double>(live_replicas);
     double bound = options_.load_factor * average;
-    std::vector<size_t> planned = loads;  // SIZE_MAX marks dead replicas.
+    std::vector<size_t> planned = loads;  // SIZE_MAX marks unusable replicas.
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (dead_[i] || static_cast<double>(loads[i]) <= bound) {
+      if (loads[i] == SIZE_MAX || static_cast<double>(loads[i]) <= bound) {
         continue;
       }
       for (auto& entry : records_) {
@@ -585,7 +962,7 @@ size_t SymphonyCluster::Rebalance() {
         size_t target = i;
         SimDuration target_dist = 0;
         for (size_t j = 0; j < replicas_.size(); ++j) {
-          if (dead_[j]) {
+          if (planned[j] == SIZE_MAX) {
             continue;
           }
           // Same topology-aware tie-break as KillReplica: prefer the closest
@@ -642,7 +1019,7 @@ size_t SymphonyCluster::SharePrefixes() {
   size_t warmed = 0;
   uint64_t fingerprint = options_.server.model.Fingerprint();
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (dead_[i]) {
+    if (!Placeable(i)) {
       continue;
     }
     Kvfs& kvfs = replicas_[i]->kvfs();
@@ -697,7 +1074,7 @@ size_t SymphonyCluster::SharePrefixes() {
       // Warm every live replica that lacks the path. The file materializes
       // after the fetched bytes' interconnect time.
       for (size_t j = 0; j < replicas_.size(); ++j) {
-        if (j == i || dead_[j] || replicas_[j]->kvfs().Exists(info.path)) {
+        if (j == i || !Placeable(j) || replicas_[j]->kvfs().Exists(info.path)) {
           continue;
         }
         StatusOr<FetchResult> fetch = store_->Fetch(j, published.key);
@@ -721,7 +1098,7 @@ size_t SymphonyCluster::SharePrefixes() {
         warm_import_tokens_ += info.length;
         ++warmed;
         sim_->ScheduleAfter(fetch->transfer_time, [this, j, import] {
-          if (!dead_[j]) {
+          if (Placeable(j)) {
             (void)replicas_[j]->ImportNamedSnapshot(*import);
           }
         });
@@ -749,7 +1126,9 @@ void SymphonyCluster::StartPrefixSharing(SimDuration period) {
 size_t SymphonyCluster::LiveLipsTotal() const {
   size_t live = 0;
   for (size_t i = 0; i < replicas_.size(); ++i) {
-    if (!dead_[i]) {
+    // Placeable only: a crashed replica's stranded count must not keep the
+    // rebalance/sharing chains (and thus Simulator::Run) alive forever.
+    if (Placeable(i)) {
       live += replicas_[i]->runtime().live_lips();
     }
   }
@@ -766,6 +1145,12 @@ SymphonyCluster::ClusterLip SymphonyCluster::Locate(
 }
 
 const std::string& SymphonyCluster::Output(const ClusterLip& id) const {
+  auto it = records_.find(id.uid);
+  if (it != records_.end() && it->second.done) {
+    // Served from the record: the hosting slot may have been rebuilt by
+    // readmission since the LIP finished.
+    return it->second.output;
+  }
   ClusterLip where = Locate(id);
   return replicas_[where.replica]->runtime().Output(where.lip);
 }
@@ -838,6 +1223,28 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   snap.net_reroutes = topology_->stats().reroutes;
   snap.net_link_blocked = topology_->stats().blocked;
   snap.net_links = topology_->LinkReport();
+  snap.ipc_fenced_rejections = fabric_->stats().fenced_rejections;
+  if (ctrl_ != nullptr) {
+    snap.ctrl = ctrl_->stats();
+    snap.ctrl_seat = ctrl_->seat();
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      ClusterSnapshot::ReplicaLiveness row;
+      row.state = ctrl_->Health(i);
+      row.epoch = ctrl_->Epoch(i);
+      row.heartbeat_age = ctrl_->HeartbeatAge(i);
+      row.fenced = fenced_[i];
+      if (options_.enable_recovery) {
+        for (const auto& entry : records_) {
+          if (entry.second.replica == i && !entry.second.done) {
+            ++row.lips_hosted;
+          }
+        }
+      } else {
+        row.lips_hosted = replicas_[i]->runtime().live_lips();
+      }
+      snap.liveness.push_back(row);
+    }
+  }
   return snap;
 }
 

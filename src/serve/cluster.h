@@ -39,6 +39,7 @@
 #include <utility>
 #include <vector>
 
+#include "src/ctrl/control_plane.h"
 #include "src/net/ipc_fabric.h"
 #include "src/recovery/replayer.h"
 #include "src/serve/server.h"
@@ -106,9 +107,20 @@ struct ClusterOptions {
   // `replicas` above overrides the preset's replica count. The default
   // single-switch preset reproduces the uniform-interconnect timings exactly.
   TopologyOptions topology;
+  // Autonomic control plane (src/ctrl): heartbeat failure detection with
+  // epoch-fenced automatic recovery, readmission of healed replicas, and
+  // (when ctrl.scaling.enabled) elastic scale-out/in. Detection-driven
+  // recovery requires enable_recovery. Off by default — the legacy
+  // manual-KillReplica contract is unchanged.
+  ControlPlaneOptions ctrl;
+  // Invoked for every server the cluster builds: the initial replicas, a
+  // slot rebuilt by readmission, and elastic scale-out. Register server-side
+  // tools (and any other per-replica setup) here, so a rebuilt or new
+  // replica serves the same program surface as the original fleet.
+  std::function<void(SymphonyServer&, size_t)> configure_replica;
 };
 
-class SymphonyCluster {
+class SymphonyCluster : private ClusterControl {
  public:
   SymphonyCluster(Simulator* sim, ClusterOptions options);
 
@@ -151,6 +163,33 @@ class SymphonyCluster {
   SymphonyServer& replica(size_t index) { return *replicas_[index]; }
   const ClusterOptions& options() const { return options_; }
   bool replica_dead(size_t index) const { return dead_[index]; }
+  bool replica_draining(size_t index) const { return draining_[index]; }
+
+  // The autonomic control plane, or nullptr when options.ctrl.enabled is
+  // false. Exposes detector state (Health/Epoch/HeartbeatAge) and stats.
+  ControlPlane* control_plane() { return ctrl_.get(); }
+  const ControlPlane* control_plane() const { return ctrl_.get(); }
+
+  // ---- Elasticity (src/ctrl) -------------------------------------------
+
+  // Grows the fleet by one replica at runtime: a fresh SymphonyServer whose
+  // node attaches to the emptier rack switch in the topology, wired into the
+  // IPC fabric and (when enabled) the control plane. The scaling loop calls
+  // this automatically; it is public so harnesses can scale manually.
+  // Returns the new replica index.
+  size_t AddReplica();
+
+  // Starts draining `index`: placement stops immediately, its live LIPs
+  // migrate to placeable replicas, and — with the control plane enabled —
+  // the replica detaches once empty. Requires enable_recovery.
+  Status DrainReplica(size_t index);
+
+  // Crashes replica `index` the way FaultPlan::CrashReplicaAt does: its
+  // process halts silently — no component is told, which is the point: only
+  // the control plane's missed heartbeats can notice. With down_for >= 0
+  // the process heals after that long and may be readmitted (at a bumped
+  // epoch) once the detector declared it dead.
+  Status CrashReplica(size_t index, SimDuration down_for = -1);
 
   // ---- Fault injection, migration, rebalancing (src/recovery) ----------
 
@@ -273,6 +312,19 @@ class SymphonyCluster {
     uint64_t ipc_cross_bytes = 0;       // IPC payload handed to the topology.
     uint64_t ipc_link_down_retries = 0; // IPC retries caused by down links.
     std::vector<TopoLinkReport> net_links;  // Per-link transfer/byte/queue stats.
+    // Control plane (src/ctrl): per-replica liveness as the detector sees it
+    // (empty when the control plane is disabled).
+    struct ReplicaLiveness {
+      ReplicaHealth state = ReplicaHealth::kLive;
+      uint64_t epoch = 1;               // Bumped at each declare-dead.
+      SimDuration heartbeat_age = -1;   // -1: dead/detached or never beat.
+      uint64_t lips_hosted = 0;
+      bool fenced = false;
+    };
+    std::vector<ReplicaLiveness> liveness;
+    ControlPlaneStats ctrl;
+    size_t ctrl_seat = kNoReplica;      // Where the membership service runs.
+    uint64_t ipc_fenced_rejections = 0; // Fabric ops refused from fenced replicas.
   };
   ClusterSnapshot Snapshot() const;
 
@@ -291,7 +343,42 @@ class SymphonyCluster {
     // detached) incarnation so Output()/Locate() keep answering.
     bool in_flight = false;
     std::shared_ptr<SyscallJournal> journal;
+    // Final output, cached at exit: the hosting replica's runtime may be
+    // rebuilt (readmission) after the LIP finishes, so Output() must not
+    // depend on the old incarnation surviving.
+    std::string output;
   };
+
+  // ---- ClusterControl (src/ctrl) ---------------------------------------
+  size_t ControlReplicaCount() const override;
+  bool ControlBeating(size_t replica) const override;
+  bool ControlHasWork() const override;
+  SimTime ControlHealAt(size_t replica) const override;
+  void ControlFence(size_t replica, uint64_t epoch) override;
+  void ControlFailover(size_t replica) override;
+  bool ControlReadmit(size_t replica, uint64_t epoch) override;
+  size_t ControlAddReplica() override;
+  bool ControlStartDrain(size_t replica) override;
+  bool ControlDrainComplete(size_t replica) override;
+  LoadSignal ControlLoadSignal() const override;
+
+  // Builds the SymphonyServer for slot `index` with the cluster's
+  // per-replica seed decorrelation (also what readmission rebuilds from).
+  std::unique_ptr<SymphonyServer> BuildReplica(size_t index) const;
+  // Replica `index` accepts new placements (not dead, draining, or halted).
+  bool Placeable(size_t index) const;
+  // Routing should avoid `index` (control plane suspects it is failing).
+  bool Avoided(size_t index) const;
+  // Shared guts of KillReplica and ControlFailover: marks the replica dead
+  // and fails its journaled LIPs over to placeable survivors.
+  Status FailReplica(size_t index);
+  // Migrates every undone LIP hosted on draining replica `index` away.
+  void DrainStep(size_t index);
+  // LIPs stranded on dead replicas with no failover in flight (a failover
+  // that found no placeable survivor leaves them behind), sorted by uid.
+  std::vector<uint64_t> StrandedLips() const;
+  // Completion chain for manual drains without a control plane.
+  void PollDrain(size_t index);
 
   size_t LeastLoaded() const;
   size_t FirstLiveFrom(size_t preferred) const;
@@ -325,9 +412,18 @@ class SymphonyCluster {
   std::unique_ptr<SnapshotStore> store_;
   std::unique_ptr<IpcFabric> fabric_;
   std::vector<std::unique_ptr<SymphonyServer>> replicas_;
+  // Replaced server incarnations (readmission rebuilds the slot). Kept
+  // alive, not destroyed: halted runtimes may still be named by pending
+  // simulator events and late completions.
+  std::vector<std::unique_ptr<SymphonyServer>> retired_servers_;
   mutable size_t next_round_robin_ = 0;
   std::vector<uint64_t> launched_per_replica_;
   std::vector<bool> dead_;
+  std::vector<bool> draining_;   // Scale-in: no placement, migrating off.
+  std::vector<bool> fenced_;     // Fenced by the control plane (epoch bump).
+  std::vector<bool> crashed_;    // Process down (FaultPlan crash).
+  std::vector<bool> retired_;    // Manual kill / detached: never readmitted.
+  std::vector<SimTime> crash_heal_at_;  // -1: permanent.
   std::unordered_map<uint64_t, LipRecord> records_;
   uint64_t next_uid_ = 1;
   uint64_t failovers_ = 0;
@@ -358,6 +454,9 @@ class SymphonyCluster {
   uint64_t warm_corrupt_fallbacks_ = 0;
   uint64_t submit_reroutes_ = 0;
   uint64_t submit_sheds_ = 0;
+  // Declared last: the control plane's loops call back into everything
+  // above, so it must be destroyed first.
+  std::unique_ptr<ControlPlane> ctrl_;
 };
 
 }  // namespace symphony

@@ -201,6 +201,11 @@ class SymphonyServer {
   // Breaker for `tool`, or nullptr before its first invocation.
   const CircuitBreaker* tool_breaker(const std::string& tool) const;
   size_t admission_queue_depth() const;
+  // Projected wait for a request joining the admission queue right now —
+  // the control plane's load signal for elastic scaling decisions.
+  SimDuration ProjectedAdmissionDelay() const {
+    return ProjectedQueueDelay(admission_queue_depth());
+  }
 
   // Aggregate snapshot for benchmarks and dashboards.
   struct MetricsSnapshot {

@@ -35,8 +35,9 @@ size_t SnapshotStore::NearestHolder(size_t replica, uint64_t chunk_key) const {
   size_t best = SIZE_MAX;
   SimDuration best_dist = 0;
   for (size_t holder = 0; holder < local_.size(); ++holder) {
-    if (holder == replica || local_[holder].count(chunk_key) == 0) {
-      continue;
+    if (holder == replica || local_[holder].count(chunk_key) == 0 ||
+        (holder < fenced_.size() && fenced_[holder])) {
+      continue;  // A fenced replica cannot serve chunks either.
     }
     SimDuration dist = options_.topology != nullptr
                            ? options_.topology->Distance(holder, replica)
@@ -139,6 +140,11 @@ PublishResult SnapshotStore::Publish(size_t replica,
 }
 
 StatusOr<FetchResult> SnapshotStore::Fetch(size_t replica, uint64_t key) {
+  if (replica < fenced_.size() && fenced_[replica]) {
+    ++stats_.fenced_fetches;
+    return FailedPreconditionError("replica " + std::to_string(replica) +
+                                   " is fenced");
+  }
   auto it = manifests_.find(key);
   if (it == manifests_.end()) {
     return NotFoundError("no snapshot " + std::to_string(key));
@@ -282,6 +288,19 @@ Status SnapshotStore::Release(uint64_t key) {
   manifests_.erase(it);
   ++stats_.snapshots_dropped;
   return Status::Ok();
+}
+
+void SnapshotStore::SetReplicaFenced(size_t replica, bool fenced) {
+  if (replica >= fenced_.size()) {
+    fenced_.resize(replica + 1, false);
+  }
+  fenced_[replica] = fenced;
+}
+
+void SnapshotStore::ForgetReplica(size_t replica) {
+  if (replica < local_.size()) {
+    local_[replica].clear();
+  }
 }
 
 const SnapshotManifest* SnapshotStore::Find(uint64_t key) const {

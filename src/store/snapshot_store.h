@@ -119,6 +119,7 @@ struct SnapshotStoreStats {
   uint64_t releases = 0;
   uint64_t snapshots_dropped = 0;
   uint64_t chunks_dropped = 0;
+  uint64_t fenced_fetches = 0;  // Fetches refused from fenced replicas.
 };
 
 class SnapshotStore {
@@ -147,6 +148,15 @@ class SnapshotStore {
   // along with any chunks no surviving snapshot references.
   Status Acquire(uint64_t key);
   Status Release(uint64_t key);
+
+  // Fencing (control plane, src/ctrl): a fenced replica's fetches fail with
+  // kFailedPrecondition and its cached chunks stop being offered as fetch
+  // sources — a replica declared dead must be unable to touch shared state
+  // until readmitted at a new epoch.
+  void SetReplicaFenced(size_t replica, bool fenced);
+  // Readmission: the rebuilt replica's chunk cache is gone with its old
+  // process, so the store must forget what the old incarnation held.
+  void ForgetReplica(size_t replica);
 
   const SnapshotManifest* Find(uint64_t key) const;
   bool Contains(uint64_t key) const { return Find(key) != nullptr; }
@@ -180,6 +190,7 @@ class SnapshotStore {
   std::unordered_map<uint64_t, Stored> manifests_;
   // Per-replica set of locally cached chunk keys (grown on demand).
   std::vector<std::unordered_set<uint64_t>> local_;
+  std::vector<bool> fenced_;
   uint64_t stored_bytes_ = 0;
   SnapshotStoreStats stats_;
 };
