@@ -106,6 +106,11 @@ struct ScalingOptions {
   // sheds, and the cooldown elapsed.
   double scale_in_load = 0.25;
   SimDuration scale_in_cooldown = Millis(400);
+  // Scale-out on a role-partitioned fleet (ClusterOptions::roles) is
+  // role-aware: the cluster joins the new replica to the hotter pool
+  // (worst projected admission delay, live-LIP tie-break), so a prefill
+  // backlog grows the prefill pool rather than adding a decode replica
+  // that never sees the queued work. Role-less fleets add kUnified.
 };
 
 struct ControlPlaneOptions {

@@ -10,6 +10,7 @@
 
 #include <cstdint>
 #include <functional>
+#include <memory>
 #include <vector>
 
 #include "src/common/status.h"
@@ -40,6 +41,14 @@ struct PredRequest {
   // Times this request was bounced for lack of device memory (scheduler
   // bookkeeping for preemption-style retry).
   uint32_t memory_retries = 0;
+  // Chunked-prefill bookkeeping (scheduler-owned). When the scheduler splits
+  // a large prefill into position-contiguous chunks, the re-queued
+  // continuation keeps the original submit_time/lip/kv context, counts the
+  // tokens already executed in chunk_done, and accumulates the per-token
+  // distributions of earlier chunks in chunk_dists so the final chunk can
+  // deliver one result bit-identical to unchunked execution.
+  uint64_t chunk_done = 0;
+  std::shared_ptr<std::vector<Distribution>> chunk_dists;
   std::function<void(PredResult)> complete;
 };
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cassert>
 #include <cstddef>
+#include <iterator>
 #include <memory>
 #include <utility>
 
@@ -74,20 +75,10 @@ void InferenceScheduler::MaybeLaunch() {
     return;
   }
 
-  // Build the prospective batch profile for the policy.
-  std::vector<WorkItem> items;
-  items.reserve(std::min(queue_.size(), options_.max_batch_requests));
-  uint64_t total_tokens = 0;
-  for (const PredRequest& request : queue_) {
-    if (items.size() >= options_.max_batch_requests ||
-        total_tokens >= options_.max_batch_tokens) {
-      break;
-    }
-    StatusOr<uint64_t> length = kvfs_->Length(request.kv);
-    uint64_t context = length.ok() ? *length : 0;
-    items.push_back(WorkItem{request.tokens.size(), context});
-    total_tokens += request.tokens.size();
-  }
+  // Build the prospective batch profile for the policy in the same order
+  // LaunchBatch would pick (discipline, decode priority, chunk caps), so
+  // est_batch_time describes the batch that actually launches.
+  std::vector<WorkItem> items = ProspectiveItems();
 
   BatchPolicyInput input;
   input.queue_size = queue_.size();
@@ -108,17 +99,23 @@ void InferenceScheduler::MaybeLaunch() {
   });
 }
 
-// Picks the next request index under the active discipline: FIFO takes the
-// head; fair share takes the oldest request among LIPs with the fewest picks
-// so far this batch.
+// Picks the next un-picked request index under the active discipline: FIFO
+// takes arrival order; fair share takes the oldest request among LIPs with
+// the fewest picks so far this batch. A continuation of a chunked prefill
+// carries its original LIP, so a split prefill still costs its LIP exactly
+// one fair-share turn per batch.
 size_t InferenceScheduler::PickNext(
-    const std::unordered_map<LipId, uint32_t>& taken) const {
-  if (options_.discipline == QueueDiscipline::kFifo) {
-    return 0;
-  }
-  size_t best = 0;
+    const std::unordered_map<LipId, uint32_t>& taken,
+    const std::vector<char>& picked, bool decode_only) const {
+  size_t best = kNoPick;
   uint32_t best_count = UINT32_MAX;
-  for (size_t i = 0; i < queue_.size(); ++i) {
+  for (size_t i = 0; i < picked.size(); ++i) {
+    if (picked[i] != 0 || (decode_only && !IsDecode(queue_[i]))) {
+      continue;
+    }
+    if (options_.discipline == QueueDiscipline::kFifo) {
+      return i;
+    }
     auto it = taken.find(queue_[i].lip);
     uint32_t count = it == taken.end() ? 0 : it->second;
     if (count < best_count) {
@@ -132,21 +129,96 @@ size_t InferenceScheduler::PickNext(
   return best;
 }
 
+bool InferenceScheduler::IsDecode(const PredRequest& request) const {
+  return request.chunk_done == 0 &&
+         request.tokens.size() <= options_.decode_classify_tokens;
+}
+
+uint64_t InferenceScheduler::ChunkTake(const PredRequest& request) const {
+  uint64_t take = request.tokens.size();
+  if (options_.prefill_chunk_tokens > 0 &&
+      take > options_.prefill_chunk_tokens) {
+    take = options_.prefill_chunk_tokens;
+  }
+  return take;
+}
+
+void InferenceScheduler::RecordQueueWait(const PredRequest& request) {
+  // Continuations of an already-launched chunked prefill keep the original
+  // submit_time; only the original request samples the wait.
+  if (request.chunk_done == 0) {
+    queue_waits_ms_.Add(ToMillis(sim_->now() - request.submit_time));
+  }
+}
+
+std::vector<WorkItem> InferenceScheduler::ProspectiveItems() const {
+  std::vector<WorkItem> items;
+  items.reserve(std::min(queue_.size(), options_.max_batch_requests));
+  uint64_t total_tokens = 0;
+  std::unordered_map<LipId, uint32_t> taken;
+  std::vector<char> picked(queue_.size(), 0);
+  size_t left = queue_.size();
+  bool decode_phase = options_.decode_priority;
+  while (left > 0 && items.size() < options_.max_batch_requests &&
+         total_tokens < options_.max_batch_tokens) {
+    size_t pick = PickNext(taken, picked, decode_phase);
+    if (pick == kNoPick) {
+      if (decode_phase) {
+        decode_phase = false;  // Decodes exhausted; top up with one prefill.
+        continue;
+      }
+      break;
+    }
+    picked[pick] = 1;
+    --left;
+    const PredRequest& request = queue_[pick];
+    ++taken[request.lip];
+    uint64_t take = ChunkTake(request);
+    StatusOr<uint64_t> length = kvfs_->Length(request.kv);
+    items.push_back(WorkItem{take, length.ok() ? *length : 0});
+    total_tokens += take;
+    if (!decode_phase && options_.decode_priority) {
+      break;  // Decode-priority batches carry at most one prefill chunk.
+    }
+  }
+  return items;
+}
+
 void InferenceScheduler::LaunchBatch() {
-  auto batch = std::make_shared<std::vector<PredRequest>>();
+  struct BatchEntry {
+    PredRequest request;
+    uint64_t take;  // New tokens of this request executed by this batch.
+  };
+  auto batch = std::make_shared<std::vector<BatchEntry>>();
   std::vector<WorkItem> items;
   uint64_t total_tokens = 0;
   std::unordered_map<LipId, uint32_t> taken;
+  // Picked slots are masked and compacted after the loop (completion
+  // callbacks never reenter the scheduler synchronously, but a mid-loop
+  // push_back past the mask would be kept untouched).
+  std::vector<char> picked(queue_.size(), 0);
+  size_t left = queue_.size();
+  bool decode_phase = options_.decode_priority;
 
-  while (!queue_.empty() && batch->size() < options_.max_batch_requests &&
+  while (left > 0 && batch->size() < options_.max_batch_requests &&
          total_tokens < options_.max_batch_tokens) {
-    size_t pick = PickNext(taken);
+    size_t pick = PickNext(taken, picked, decode_phase);
+    if (pick == kNoPick) {
+      if (decode_phase) {
+        decode_phase = false;  // Decodes exhausted; top up with one prefill.
+        continue;
+      }
+      break;
+    }
+    picked[pick] = 1;
+    --left;
+    bool decode = IsDecode(queue_[pick]);
     PredRequest request = std::move(queue_[pick]);
-    queue_.erase(queue_.begin() + static_cast<std::ptrdiff_t>(pick));
     ++taken[request.lip];
     StatusOr<uint64_t> context = Validate(request);
     if (!context.ok()) {
       ++stats_.failed;
+      RecordQueueWait(request);
       request.complete(PredResult{context.status(), {}});
       continue;
     }
@@ -158,16 +230,43 @@ void InferenceScheduler::LaunchBatch() {
         (void)RequeueForMemory(request, restore);
       } else {
         ++stats_.failed;
+        RecordQueueWait(request);
         request.complete(PredResult{restore, {}});
       }
       continue;
     }
-    queue_waits_ms_.Add(ToMillis(sim_->now() - request.submit_time));
-    stats_.prefix_reuse_tokens += *context;
-    items.push_back(WorkItem{request.tokens.size(), *context});
-    total_tokens += request.tokens.size();
-    batch->push_back(std::move(request));
+    RecordQueueWait(request);
+    // Tokens a split prefill appended in earlier chunks are fresh compute,
+    // not reused prefix.
+    stats_.prefix_reuse_tokens +=
+        *context - std::min<uint64_t>(*context, request.chunk_done);
+    uint64_t take = ChunkTake(request);
+    if (take < request.tokens.size() || request.chunk_done > 0) {
+      ++stats_.prefill_chunks;
+    }
+    if (decode) {
+      stats_.decode_tokens_batched += take;
+    } else {
+      stats_.prefill_tokens_batched += take;
+    }
+    items.push_back(WorkItem{take, *context});
+    total_tokens += take;
+    batch->push_back(BatchEntry{std::move(request), take});
+    if (!decode_phase && options_.decode_priority) {
+      break;  // Decode-priority batches carry at most one prefill chunk.
+    }
   }
+
+  // Compact the queue: drop picked slots, keep everything else (including
+  // entries appended past the mask while completing failures above).
+  std::deque<PredRequest> kept;
+  for (size_t i = 0; i < queue_.size(); ++i) {
+    if (i < picked.size() && picked[i] != 0) {
+      continue;
+    }
+    kept.push_back(std::move(queue_[i]));
+  }
+  queue_ = std::move(kept);
 
   if (batch->empty()) {
     // Everything in this round failed validation; look again.
@@ -179,8 +278,8 @@ void InferenceScheduler::LaunchBatch() {
   ++stats_.batches;
   device_->Execute(std::move(items), transfer_bytes, [this, batch] {
     next_launch_time_ = sim_->now() + options_.formation_delay;
-    for (PredRequest& request : *batch) {
-      CompleteRequest(request);
+    for (BatchEntry& entry : *batch) {
+      CompleteRequest(entry.request, entry.take);
     }
     MaybeLaunch();
   });
@@ -194,6 +293,7 @@ void InferenceScheduler::CancelLip(LipId lip) {
       continue;
     }
     ++stats_.cancelled;
+    RecordQueueWait(request);
     request.complete(PredResult{
         DeadlineExceededError("pred cancelled: lip deadline expired"), {}});
   }
@@ -206,6 +306,7 @@ void InferenceScheduler::CancelLip(LipId lip) {
 bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& why) {
   if (request.memory_retries >= options_.max_memory_retries) {
     ++stats_.failed;
+    RecordQueueWait(request);
     request.complete(PredResult{why, {}});
     return false;
   }
@@ -224,6 +325,7 @@ bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& wh
   sim_->ScheduleAfter(backoff, [this, retry] {
     if (cancelled_lips_.count(retry->lip) != 0) {
       ++stats_.cancelled;
+      RecordQueueWait(*retry);
       retry->complete(PredResult{
           DeadlineExceededError("pred cancelled: lip deadline expired"), {}});
       return;
@@ -234,7 +336,7 @@ bool InferenceScheduler::RequeueForMemory(PredRequest& request, const Status& wh
   return true;
 }
 
-void InferenceScheduler::CompleteRequest(PredRequest& request) {
+void InferenceScheduler::CompleteRequest(PredRequest& request, uint64_t take) {
   // Re-validate: another LIP may have appended to a shared file while this
   // batch was executing.
   StatusOr<uint64_t> length = Validate(request);
@@ -257,19 +359,22 @@ void InferenceScheduler::CompleteRequest(PredRequest& request) {
     state = *tail;
   }
 
+  take = std::min<uint64_t>(take, request.tokens.size());
   std::vector<TokenRecord> records;
-  records.reserve(request.tokens.size());
-  PredResult result;
-  result.dists.reserve(request.tokens.size());
-  for (size_t i = 0; i < request.tokens.size(); ++i) {
+  records.reserve(take);
+  std::vector<Distribution> dists;
+  dists.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
     state = model_->Advance(state, request.tokens[i], request.positions[i]);
     records.push_back(TokenRecord{request.tokens[i], request.positions[i], state});
-    result.dists.push_back(model_->Predict(state));
+    dists.push_back(model_->Predict(state));
   }
 
   Status append = kvfs_->Append(request.kv, records);
   if (!append.ok()) {
     if (append.code() == StatusCode::kResourceExhausted) {
+      // The whole remaining request (this chunk included) bounces; the next
+      // launch re-derives the chunk split.
       (void)RequeueForMemory(request, append);
       return;
     }
@@ -277,9 +382,58 @@ void InferenceScheduler::CompleteRequest(PredRequest& request) {
     request.complete(PredResult{append, {}});
     return;
   }
+
+  if (take < request.tokens.size()) {
+    // A prefill chunk: bank its distributions and re-queue the remainder as
+    // a position-contiguous continuation. The continuation keeps the
+    // original submit time, LIP identity, and completion callback, so
+    // fair-share, deadlines, and memory-requeue treat it as the one request
+    // it is. Front of the queue: under FIFO the prefill finishes as early as
+    // unchunked would; decode-priority packing reorders around it anyway.
+    if (request.chunk_dists == nullptr) {
+      ++stats_.prefills_chunked;
+      request.chunk_dists = std::make_shared<std::vector<Distribution>>();
+    }
+    request.chunk_dists->insert(request.chunk_dists->end(), dists.begin(),
+                                dists.end());
+    request.chunk_done += take;
+    request.tokens.erase(request.tokens.begin(),
+                         request.tokens.begin() + static_cast<ptrdiff_t>(take));
+    request.positions.erase(
+        request.positions.begin(),
+        request.positions.begin() + static_cast<ptrdiff_t>(take));
+    if (cancelled_lips_.count(request.lip) != 0) {
+      // The LIP's deadline expired while this chunk was executing; the
+      // continuation dies the way a queued request would have.
+      ++stats_.cancelled;
+      request.complete(PredResult{
+          DeadlineExceededError("pred cancelled: lip deadline expired"), {}});
+      return;
+    }
+    queue_.push_front(std::move(request));
+    return;
+  }
+
   ++stats_.completed;
+  PredResult result;
   result.status = Status::Ok();
+  if (request.chunk_dists != nullptr) {
+    // Final chunk: deliver the banked distributions of every earlier chunk
+    // ahead of this one's — one result, bit-identical to unchunked.
+    result.dists = std::move(*request.chunk_dists);
+    request.chunk_dists.reset();
+  }
+  result.dists.insert(result.dists.end(),
+                      std::make_move_iterator(dists.begin()),
+                      std::make_move_iterator(dists.end()));
+  uint64_t pred_tokens = request.chunk_done + take;
+  uint64_t context_after = *length + take;
+  LipId lip = request.lip;
   request.complete(std::move(result));
+  if (prefill_complete_hook_ != nullptr &&
+      pred_tokens > options_.decode_classify_tokens) {
+    prefill_complete_hook_(lip, context_after);
+  }
 }
 
 }  // namespace symphony

@@ -53,6 +53,26 @@ struct InferenceSchedulerOptions {
   uint32_t max_memory_retries = 500;
   SimDuration memory_retry_backoff = Millis(20);
   SimDuration memory_retry_backoff_cap = Millis(320);
+  // --- Stall-free scheduling ---
+  // When > 0, a pred with more new tokens than this executes as
+  // position-contiguous chunks of at most this size: only the next chunk
+  // joins a batch, and the remainder is re-queued as a continuation carrying
+  // the original submit time, LIP identity, and validation context. Chunking
+  // is semantically invisible — distributions and KV state are bit-identical
+  // to unchunked execution (the model advances token-sequentially either
+  // way) — it only bounds how long a single batch can run, so a 3000-token
+  // prefill can no longer stall every 1-token decode in its round.
+  // 0 disables chunking.
+  uint64_t prefill_chunk_tokens = 0;
+  // Decode-priority packing: fill each batch with every pending decode-sized
+  // request first, then top up with at most ONE prefill chunk, so per-batch
+  // time is bounded by the decode load plus the chunk budget. Pair with
+  // prefill_chunk_tokens > 0 to actually bound the prefill contribution.
+  bool decode_priority = false;
+  // A request with at most this many new tokens counts as a decode for
+  // decode-priority packing and token-occupancy stats; continuations of a
+  // split prefill always count as prefill regardless of their tail size.
+  uint64_t decode_classify_tokens = 8;
 };
 
 struct InferenceSchedulerStats {
@@ -68,7 +88,17 @@ struct InferenceSchedulerStats {
   // Context tokens already present in KV files when preds were batched (the
   // file's length at submit). Warm prefixes — forked, restored, or imported
   // from the cluster snapshot store — show up here as compute not re-done.
+  // Tokens a chunked prefill wrote itself in earlier chunks are excluded.
   uint64_t prefix_reuse_tokens = 0;
+  // --- Per-batch token occupancy (stall-free scheduling observability) ---
+  // New tokens batched from decode-sized requests vs prefill-sized ones.
+  uint64_t decode_tokens_batched = 0;
+  uint64_t prefill_tokens_batched = 0;
+  // Chunk launches belonging to a split prefill (each batch entry of a
+  // split counts once, including the final chunk).
+  uint64_t prefill_chunks = 0;
+  // Distinct prefills that were split into chunks at least once.
+  uint64_t prefills_chunked = 0;
 };
 
 class InferenceScheduler : public PredService {
@@ -89,11 +119,38 @@ class InferenceScheduler : public PredService {
   double arrival_rate_per_sec() const { return rate_per_sec_; }
   size_t queue_depth() const { return queue_.size(); }
 
+  // Fired right after a prefill-sized pred (more than decode_classify_tokens
+  // new tokens, counting every chunk of a split) completes successfully, with
+  // the LIP and the KV file length after the append. Prefill-role cluster
+  // replicas use it to hand freshly prefilled LIPs to a decode replica.
+  void set_prefill_complete_hook(std::function<void(LipId, uint64_t)> hook) {
+    prefill_complete_hook_ = std::move(hook);
+  }
+
  private:
+  static constexpr size_t kNoPick = static_cast<size_t>(-1);
+
   void MaybeLaunch();
   void LaunchBatch();
-  size_t PickNext(const std::unordered_map<LipId, uint32_t>& taken) const;
-  void CompleteRequest(PredRequest& request);
+  // Picks the next un-picked request index under the active discipline
+  // (kFifo: first; kFairShare: oldest among LIPs with fewest picks this
+  // batch), optionally restricted to decode-sized requests. kNoPick if none.
+  size_t PickNext(const std::unordered_map<LipId, uint32_t>& taken,
+                  const std::vector<char>& picked, bool decode_only) const;
+  // Simulates LaunchBatch's pick loop without side effects so the policy's
+  // est_batch_time describes the batch that would actually launch (pick
+  // order, decode-priority packing, and chunk caps included).
+  std::vector<WorkItem> ProspectiveItems() const;
+  bool IsDecode(const PredRequest& request) const;
+  // New tokens this request would contribute to the next batch (its chunk).
+  uint64_t ChunkTake(const PredRequest& request) const;
+  // Samples the queue wait for the original request (not for continuations
+  // of an already-launched chunked prefill).
+  void RecordQueueWait(const PredRequest& request);
+  // Materializes the first `take` tokens of the request; when take is short
+  // of the full request (a prefill chunk), re-queues the remainder as a
+  // continuation instead of completing.
+  void CompleteRequest(PredRequest& request, uint64_t take);
   // Requeues a memory-starved request after a backoff; returns false (and
   // fails the request) once the retry budget is exhausted.
   bool RequeueForMemory(PredRequest& request, const Status& why);
@@ -117,6 +174,7 @@ class InferenceScheduler : public PredService {
   double rate_per_sec_ = 0.0;
   InferenceSchedulerStats stats_;
   SampleSeries queue_waits_ms_;
+  std::function<void(LipId, uint64_t)> prefill_complete_hook_;
 };
 
 }  // namespace symphony

@@ -17,6 +17,8 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
   for (size_t i = 0; i < options_.replicas; ++i) {
     replicas_.push_back(BuildReplica(i));
   }
+  roles_ = options_.roles;
+  roles_.resize(options_.replicas, ReplicaRole::kUnified);
   launched_per_replica_.assign(options_.replicas, 0);
   dead_.assign(options_.replicas, false);
   draining_.assign(options_.replicas, false);
@@ -52,6 +54,7 @@ SymphonyCluster::SymphonyCluster(Simulator* sim, ClusterOptions options)
     // toward less-congested replicas.
     replicas_[i]->set_backpressure_hook(
         [fabric = fabric_.get(), i] { return fabric->BackpressureDelay(i); });
+    InstallDisaggHook(i);
   }
   // Arm the fault plan's replica-kill schedule. Kills route through the
   // normal KillReplica path, so with recovery enabled the victims fail over.
@@ -122,24 +125,65 @@ bool SymphonyCluster::Avoided(size_t index) const {
          ctrl_->Health(index) == ReplicaHealth::kSuspected;
 }
 
-size_t SymphonyCluster::LeastLoaded() const {
-  // Two passes: suspected replicas (control-plane detector) lose placements
-  // to healthy ones, but remain better than nothing when all else is down.
-  for (int pass = 0; pass < 2; ++pass) {
-    size_t best = replicas_.size();
-    size_t best_load = SIZE_MAX;
-    for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (!Placeable(i) || (pass == 0 && Avoided(i))) {
-        continue;
-      }
-      size_t load = replicas_[i]->runtime().live_lips();
-      if (load < best_load) {
-        best = i;
-        best_load = load;
-      }
+ReplicaRole SymphonyCluster::RoleOf(size_t index) const {
+  return index < roles_.size() ? roles_[index] : ReplicaRole::kUnified;
+}
+
+bool SymphonyCluster::InServePool(size_t index) const {
+  return RoleOf(index) != ReplicaRole::kPrefill;
+}
+
+bool SymphonyCluster::HasPrefillPool() const {
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (RoleOf(i) == ReplicaRole::kPrefill) {
+      return true;
     }
-    if (best < replicas_.size()) {
-      return best;
+  }
+  return false;
+}
+
+size_t SymphonyCluster::LeastLoadedPrefill() const {
+  size_t best = kNoReplica;
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (RoleOf(i) != ReplicaRole::kPrefill || !Placeable(i) || Avoided(i)) {
+      continue;
+    }
+    size_t load = replicas_[i]->runtime().live_lips();
+    if (load < best_load) {
+      best = i;
+      best_load = load;
+    }
+  }
+  return best;
+}
+
+size_t SymphonyCluster::LeastLoaded() const {
+  // Pool pass 0 considers only serve-pool (decode/unified) replicas, so a
+  // decode stream or failover never lands behind a prefill replica's giant
+  // prefills; prefill replicas are better than nothing when the whole serve
+  // pool is down (pass 1). Within a pool, two passes: suspected replicas
+  // (control-plane detector) lose placements to healthy ones, but remain
+  // better than nothing when all else is down. A role-less cluster puts
+  // every replica in the serve pool, preserving the legacy pick exactly.
+  for (int pool = 0; pool < 2; ++pool) {
+    for (int pass = 0; pass < 2; ++pass) {
+      size_t best = replicas_.size();
+      size_t best_load = SIZE_MAX;
+      for (size_t i = 0; i < replicas_.size(); ++i) {
+        if (!Placeable(i) || (pool == 0 && !InServePool(i)) ||
+            (pass == 0 && Avoided(i))) {
+          continue;
+        }
+        size_t load = replicas_[i]->runtime().live_lips();
+        if (load < best_load) {
+          best = i;
+          best_load = load;
+        }
+      }
+      if (best < replicas_.size()) {
+        return best;
+      }
     }
   }
   assert(false && "no live replica");
@@ -147,11 +191,15 @@ size_t SymphonyCluster::LeastLoaded() const {
 }
 
 size_t SymphonyCluster::FirstLiveFrom(size_t preferred) const {
-  for (int pass = 0; pass < 2; ++pass) {
-    for (size_t probe = 0; probe < replicas_.size(); ++probe) {
-      size_t i = (preferred + probe) % replicas_.size();
-      if (Placeable(i) && (pass == 1 || !Avoided(i))) {
-        return i;
+  // Same pool preference as LeastLoaded: serve-pool replicas first.
+  for (int pool = 0; pool < 2; ++pool) {
+    for (int pass = 0; pass < 2; ++pass) {
+      for (size_t probe = 0; probe < replicas_.size(); ++probe) {
+        size_t i = (preferred + probe) % replicas_.size();
+        if (Placeable(i) && (pool == 1 || InServePool(i)) &&
+            (pass == 1 || !Avoided(i))) {
+          return i;
+        }
       }
     }
   }
@@ -160,6 +208,22 @@ size_t SymphonyCluster::FirstLiveFrom(size_t preferred) const {
 }
 
 size_t SymphonyCluster::RouteFor(const std::string& affinity_key) const {
+  return RouteFor(affinity_key, 0);
+}
+
+size_t SymphonyCluster::RouteFor(const std::string& affinity_key,
+                                 uint64_t prefill_hint_tokens) const {
+  // A fresh launch that will prefill a large context goes to the prefill
+  // pool (least-loaded placeable prefill replica). Everything else — decode
+  // streams, small jobs, hint-less launches — routes through the normal
+  // policy, which avoids prefill replicas (see LeastLoaded/FirstLiveFrom).
+  if (prefill_hint_tokens >= options_.disagg_min_prefill_tokens) {
+    size_t pick = LeastLoadedPrefill();
+    if (pick != kNoReplica) {
+      ++disagg_prefill_routes_;
+      return pick;
+    }
+  }
   switch (options_.routing) {
     case RoutingPolicy::kRoundRobin: {
       size_t replica = FirstLiveFrom(next_round_robin_);
@@ -284,10 +348,109 @@ void SymphonyCluster::InstallCheckpointHook(
       options_.checkpoint_interval);
 }
 
+void SymphonyCluster::InstallDisaggHook(size_t index) {
+  if (RoleOf(index) != ReplicaRole::kPrefill || !options_.enable_recovery) {
+    return;
+  }
+  replicas_[index]->scheduler().set_prefill_complete_hook(
+      [this, index](LipId lip, uint64_t context_tokens) {
+        // Map the runtime LIP back to its cluster record; the handoff runs
+        // one dispatch later so the pred result settles into its coroutine
+        // frame (and its journal entry) before the LIP is detached.
+        for (const auto& entry : records_) {
+          const LipRecord& rec = entry.second;
+          if (rec.replica == index && rec.lip == lip && !rec.done &&
+              !rec.in_flight) {
+            sim_->ScheduleAt(sim_->now(),
+                             [this, uid = rec.uid, context_tokens] {
+                               MaybeHandoff(uid, context_tokens);
+                             });
+            return;
+          }
+        }
+      });
+}
+
+void SymphonyCluster::MaybeHandoff(uint64_t uid, uint64_t context_tokens) {
+  auto it = records_.find(uid);
+  if (it == records_.end()) {
+    return;
+  }
+  LipRecord& rec = it->second;
+  if (rec.done || rec.in_flight || dead_[rec.replica] ||
+      RoleOf(rec.replica) != ReplicaRole::kPrefill) {
+    return;
+  }
+  if (context_tokens < options_.disagg_min_prefill_tokens ||
+      // Ship-vs-local-decode: migrating replays the LIP on the target from
+      // its journal, importing the prefilled KV when the Replayer's cost
+      // model says the shipped bytes beat recomputing the prefill there.
+      // When even the import loses to recompute, the hop buys nothing and
+      // the LIP decodes where it is.
+      Replayer::Choose(*cost_model_, context_tokens) !=
+          RecoveryMode::kImportSnapshot) {
+    ++disagg_handoff_skips_;
+    return;
+  }
+  // Least-loaded placeable serve-pool target (never another prefill slot).
+  size_t target = kNoReplica;
+  size_t best_load = SIZE_MAX;
+  for (size_t i = 0; i < replicas_.size(); ++i) {
+    if (i == rec.replica || !Placeable(i) || !InServePool(i) || Avoided(i)) {
+      continue;
+    }
+    size_t load = replicas_[i]->runtime().live_lips();
+    if (load < best_load) {
+      target = i;
+      best_load = load;
+    }
+  }
+  if (target == kNoReplica) {
+    ++disagg_handoff_skips_;
+    return;
+  }
+  // Publish the prefilled KV through the snapshot store now, so the ship is
+  // a checkpoint reference plus a thin live suffix instead of the raw pred
+  // log (the target pulls the chunks over the topology either way).
+  if (options_.checkpoint_journals && rec.journal != nullptr &&
+      rec.journal->live_entries() > 0) {
+    StatusOr<CheckpointOutcome> folded = CheckpointJournal(
+        *store_, rec.replica, options_.server.model.Fingerprint(),
+        *rec.journal);
+    if (folded.ok()) {
+      ++checkpoints_;
+      checkpoint_entries_folded_ += folded->folded_entries;
+    }
+    // A corruption-window failure just means a fatter (full) ship below.
+  }
+  ClusterLip id{rec.replica, rec.lip, uid};
+  if (Migrate(id, target).ok()) {
+    ++disagg_handoffs_;
+    if (options_.server.trace != nullptr) {
+      options_.server.trace->Instant(
+          "recovery", "handoff:" + rec.name + ":replica" +
+                          std::to_string(id.replica) + "->replica" +
+                          std::to_string(target) + ":" +
+                          std::to_string(context_tokens) + "tok",
+          sim_->now());
+    }
+  } else {
+    ++disagg_handoff_skips_;
+  }
+}
+
 SymphonyCluster::ClusterLip SymphonyCluster::Launch(
     std::string name, const std::string& affinity_key, LipProgram program,
     std::function<void(LipId)> on_exit) {
-  size_t replica = RouteFor(affinity_key);
+  return Launch(std::move(name), affinity_key, 0, std::move(program),
+                std::move(on_exit));
+}
+
+SymphonyCluster::ClusterLip SymphonyCluster::Launch(
+    std::string name, const std::string& affinity_key,
+    uint64_t prefill_hint_tokens, LipProgram program,
+    std::function<void(LipId)> on_exit) {
+  size_t replica = RouteFor(affinity_key, prefill_hint_tokens);
   ++launched_per_replica_[replica];
   MaybeShedOnOverflow();
   if (!options_.enable_recovery) {
@@ -326,7 +489,7 @@ SymphonyCluster::ClusterLip SymphonyCluster::Launch(
 
 SymphonyCluster::ClusterAdmitResult SymphonyCluster::Submit(
     SymphonyServer::LaunchSpec spec, const std::string& affinity_key) {
-  size_t preferred = RouteFor(affinity_key);
+  size_t preferred = RouteFor(affinity_key, spec.prefill_hint_tokens);
   MaybeShedOnOverflow();
   // Candidate order: the routed replica first, then (with reroute enabled)
   // the other placeable replicas from least to most loaded, with
@@ -336,7 +499,9 @@ SymphonyCluster::ClusterAdmitResult SymphonyCluster::Submit(
     // (suspected, live lips, replica)
     std::vector<std::tuple<bool, size_t, size_t>> rest;
     for (size_t i = 0; i < replicas_.size(); ++i) {
-      if (i == preferred || !Placeable(i)) {
+      // Prefill-role replicas never serve as reroute fallbacks: rerouted
+      // work is by definition not a routed large prefill.
+      if (i == preferred || !Placeable(i) || !InServePool(i)) {
         continue;
       }
       rest.emplace_back(Avoided(i), replicas_[i]->runtime().live_lips(), i);
@@ -744,6 +909,7 @@ bool SymphonyCluster::ControlReadmit(size_t replica, uint64_t epoch) {
       [fabric = fabric_.get(), replica] {
         return fabric->BackpressureDelay(replica);
       });
+  InstallDisaggHook(replica);  // The slot keeps its original role.
   store_->SetReplicaFenced(replica, false);
   store_->ForgetReplica(replica);
   dead_[replica] = false;
@@ -765,9 +931,41 @@ bool SymphonyCluster::ControlReadmit(size_t replica, uint64_t epoch) {
 }
 
 size_t SymphonyCluster::ControlAddReplica() {
+  // Role-aware scale-out: in a disaggregated cluster the new capacity joins
+  // the hotter pool — worst projected admission delay first, total live LIPs
+  // as the tie-break — so a prefill backlog grows the prefill pool instead
+  // of adding a decode replica that never sees the queued work. A role-less
+  // cluster always adds kUnified (the legacy behavior).
+  ReplicaRole role = ReplicaRole::kUnified;
+  if (HasPrefillPool()) {
+    SimDuration prefill_delay = 0;
+    SimDuration serve_delay = 0;
+    size_t prefill_lips = 0;
+    size_t serve_lips = 0;
+    for (size_t i = 0; i < replicas_.size(); ++i) {
+      if (!Placeable(i)) {
+        continue;
+      }
+      SimDuration delay = replicas_[i]->ProjectedAdmissionDelay();
+      size_t lips = replicas_[i]->runtime().live_lips();
+      if (InServePool(i)) {
+        serve_delay = std::max(serve_delay, delay);
+        serve_lips += lips;
+      } else {
+        prefill_delay = std::max(prefill_delay, delay);
+        prefill_lips += lips;
+      }
+    }
+    if (std::tie(prefill_delay, prefill_lips) >
+        std::tie(serve_delay, serve_lips)) {
+      role = ReplicaRole::kPrefill;
+    }
+  }
   size_t index = topology_->AddReplica();
   assert(index == replicas_.size());
   replicas_.push_back(BuildReplica(index));
+  roles_.resize(index, ReplicaRole::kUnified);  // Paranoia: stay aligned.
+  roles_.push_back(role);
   launched_per_replica_.push_back(0);
   dead_.push_back(false);
   draining_.push_back(false);
@@ -781,9 +979,13 @@ size_t SymphonyCluster::ControlAddReplica() {
       [fabric = fabric_.get(), index] {
         return fabric->BackpressureDelay(index);
       });
+  InstallDisaggHook(index);
   if (options_.server.trace != nullptr) {
     options_.server.trace->Instant(
-        "recovery", "scale-out:replica" + std::to_string(index), sim_->now());
+        "recovery",
+        "scale-out:replica" + std::to_string(index) +
+            (role == ReplicaRole::kPrefill ? ":prefill" : ":serve"),
+        sim_->now());
   }
   // Fresh capacity rescues any LIPs stranded by a survivor-less failover.
   for (uint64_t uid : StrandedLips()) {
@@ -1166,6 +1368,7 @@ bool SymphonyCluster::Done(const ClusterLip& id) const {
 SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
   ClusterSnapshot snap;
   snap.lips_per_replica = launched_per_replica_;
+  SampleSeries queue_waits;  // Merged across replicas for cluster percentiles.
   for (size_t i = 0; i < replicas_.size(); ++i) {
     SymphonyServer* replica = replicas_[i].get();
     snap.total_throughput_busy += replica->device().Utilization();
@@ -1178,10 +1381,25 @@ SymphonyCluster::ClusterSnapshot SymphonyCluster::Snapshot() const {
         replica->runtime().stats().ipc_sends_suppressed;
     snap.ipc_credit_waits_replayed +=
         replica->runtime().stats().ipc_credit_waits_replayed;
+    const InferenceSchedulerStats& sched = replica->scheduler().stats();
+    snap.decode_tokens_batched += sched.decode_tokens_batched;
+    snap.prefill_tokens_batched += sched.prefill_tokens_batched;
+    snap.prefill_chunks += sched.prefill_chunks;
+    snap.prefills_chunked += sched.prefills_chunked;
+    for (double wait : replica->scheduler().queue_waits_ms().samples()) {
+      queue_waits.Add(wait);
+    }
     if (dead_[i]) {
       ++snap.replicas_dead;
     }
   }
+  if (queue_waits.count() > 0) {
+    snap.queue_wait_p50_ms = queue_waits.Percentile(0.5);
+    snap.queue_wait_p99_ms = queue_waits.Percentile(0.99);
+  }
+  snap.disagg_prefill_routes = disagg_prefill_routes_;
+  snap.disagg_handoffs = disagg_handoffs_;
+  snap.disagg_handoff_skips = disagg_handoff_skips_;
   for (size_t i = 0; i < fabric_->replica_count(); ++i) {
     const IpcReplicaStats& ipc = fabric_->replica_stats(i);
     snap.ipc_sent += ipc.sent;

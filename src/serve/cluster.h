@@ -48,6 +48,18 @@
 
 namespace symphony {
 
+// Per-replica role for prefill/decode disaggregation. A kPrefill replica
+// takes only fresh launches with a large-prefill hint; when such a LIP's
+// prefill completes, the cluster publishes its KV through the snapshot store
+// and migrates it (delta path, bytes charged to the topology) to a decode or
+// unified replica, so decode replicas never run a multi-thousand-token
+// prefill and prefill replicas never accumulate decode load.
+enum class ReplicaRole {
+  kUnified,  // Takes any work (the default; a role-less cluster is all-unified).
+  kPrefill,  // Large-prefill launches only; hands off after the prefill.
+  kDecode,   // Normal placement pool; never picked for hinted large prefills.
+};
+
 enum class RoutingPolicy {
   kRoundRobin,
   kLeastLoaded,
@@ -99,6 +111,18 @@ struct ClusterOptions {
   // Cluster admission tier: Submit() tries other live replicas (ascending
   // load) when the routed replica rejects, before shedding.
   bool reroute_on_reject = true;
+  // ---- Prefill/decode disaggregation -----------------------------------
+  // Per-replica roles; replicas beyond the vector's end default to kUnified
+  // (elastic scale-out picks the hotter pool's role, see ControlAddReplica).
+  // The prefill->decode handoff requires enable_recovery (it is a journaled
+  // migration); with checkpoint_journals the prefilled KV is published
+  // through the snapshot store so the ship is a checkpoint ref + suffix.
+  std::vector<ReplicaRole> roles;
+  // A launch is steered to the prefill pool only when its prefill hint is at
+  // least this many tokens, and handed off afterwards only when the Replayer
+  // cost model says importing the shipped KV beats recomputing it — small
+  // jobs never pay the hop either way.
+  uint64_t disagg_min_prefill_tokens = 512;
   // Cluster IPC fabric (src/net): cross-replica channel routing, partition
   // retry/deadline behavior, link cost charging.
   IpcFabricOptions ipc;
@@ -142,6 +166,15 @@ class SymphonyCluster : private ClusterControl {
                     LipProgram program,
                     std::function<void(LipId)> on_exit = nullptr);
 
+  // Launch with a prefill-size hint: how many fresh context tokens the LIP
+  // will prefill up front (0 = unknown/small). With prefill-role replicas
+  // configured, a hint of at least disagg_min_prefill_tokens routes the LIP
+  // to the prefill pool; it migrates to a decode replica once the prefill
+  // completes and the cost gate approves the ship.
+  ClusterLip Launch(std::string name, const std::string& affinity_key,
+                    uint64_t prefill_hint_tokens, LipProgram program,
+                    std::function<void(LipId)> on_exit = nullptr);
+
   // Admission-controlled launch with a cluster-level fallback tier: when the
   // routed replica's Submit rejects (kUnavailable + retry_after), the other
   // live replicas are tried in ascending live-LIP order before the request
@@ -156,8 +189,14 @@ class SymphonyCluster : private ClusterControl {
                             const std::string& affinity_key = "");
 
   // The replica the router would pick for `affinity_key` right now. Dead
-  // replicas are never picked.
+  // replicas are never picked; prefill-role replicas are picked only through
+  // a qualifying `prefill_hint_tokens` (or when nothing else is placeable).
   size_t RouteFor(const std::string& affinity_key) const;
+  size_t RouteFor(const std::string& affinity_key,
+                  uint64_t prefill_hint_tokens) const;
+
+  // The role replica `index` was configured (or scaled out) with.
+  ReplicaRole RoleOf(size_t index) const;
 
   size_t replica_count() const { return replicas_.size(); }
   SymphonyServer& replica(size_t index) { return *replicas_[index]; }
@@ -325,6 +364,18 @@ class SymphonyCluster : private ClusterControl {
     ControlPlaneStats ctrl;
     size_t ctrl_seat = kNoReplica;      // Where the membership service runs.
     uint64_t ipc_fenced_rejections = 0; // Fabric ops refused from fenced replicas.
+    // Stall-free scheduling (chunked prefill + decode priority, src/sched).
+    double queue_wait_p50_ms = 0.0;     // Scheduler queue waits, cluster-wide.
+    double queue_wait_p99_ms = 0.0;
+    uint64_t decode_tokens_batched = 0;   // Per-batch token occupancy, summed.
+    uint64_t prefill_tokens_batched = 0;
+    uint64_t prefill_chunks = 0;          // Chunk launches of split prefills.
+    uint64_t prefills_chunked = 0;        // Prefills split at least once.
+    // Prefill/decode disaggregation.
+    uint64_t disagg_prefill_routes = 0;   // Launches steered to the prefill pool.
+    uint64_t disagg_handoffs = 0;         // Prefill->decode migrations shipped.
+    uint64_t disagg_handoff_skips = 0;    // Handoffs declined (cost gate,
+                                          // no placeable target, or raced).
   };
   ClusterSnapshot Snapshot() const;
 
@@ -382,6 +433,22 @@ class SymphonyCluster : private ClusterControl {
 
   size_t LeastLoaded() const;
   size_t FirstLiveFrom(size_t preferred) const;
+  // Replica `index` belongs to the general placement pool (decode/unified).
+  // Prefill-role replicas are excluded so a decode stream never lands behind
+  // another LIP's giant prefill; they remain a last resort when nothing in
+  // the serve pool is placeable.
+  bool InServePool(size_t index) const;
+  bool HasPrefillPool() const;
+  // Least-loaded placeable prefill-role replica, or kNoReplica.
+  size_t LeastLoadedPrefill() const;
+  // Wires the prefill-completion handoff hook into replica `index`'s
+  // scheduler (no-op unless the slot is prefill-role with recovery on).
+  // Re-run wherever the slot's server is (re)built.
+  void InstallDisaggHook(size_t index);
+  // Prefill finished on a prefill-role replica: publish the KV through the
+  // snapshot store and migrate the LIP to the least-loaded decode-pool
+  // replica, unless the cost model says the hop loses to local decode.
+  void MaybeHandoff(uint64_t uid, uint64_t context_tokens);
   // Records a kAffinityBounded overflow (RouteFor is const; the counters are
   // routing observability, not routing state).
   void NoteOverflow() const;
@@ -424,6 +491,9 @@ class SymphonyCluster : private ClusterControl {
   std::vector<bool> crashed_;    // Process down (FaultPlan crash).
   std::vector<bool> retired_;    // Manual kill / detached: never readmitted.
   std::vector<SimTime> crash_heal_at_;  // -1: permanent.
+  // Per-slot roles, kept index-aligned with replicas_ (scale-out appends the
+  // hotter pool's role; readmission keeps the slot's original role).
+  std::vector<ReplicaRole> roles_;
   std::unordered_map<uint64_t, LipRecord> records_;
   uint64_t next_uid_ = 1;
   uint64_t failovers_ = 0;
@@ -454,6 +524,11 @@ class SymphonyCluster : private ClusterControl {
   uint64_t warm_corrupt_fallbacks_ = 0;
   uint64_t submit_reroutes_ = 0;
   uint64_t submit_sheds_ = 0;
+  // Disaggregation observability (mutable: RouteFor is const, see
+  // NoteOverflow for the precedent).
+  mutable uint64_t disagg_prefill_routes_ = 0;
+  uint64_t disagg_handoffs_ = 0;
+  uint64_t disagg_handoff_skips_ = 0;
   // Declared last: the control plane's loops call back into everything
   // above, so it must be destroyed first.
   std::unique_ptr<ControlPlane> ctrl_;

@@ -152,6 +152,10 @@ class SymphonyServer {
     SimDuration deadline = 0;
     // 0 = highest. Clamped to kPriorityLevels - 1.
     uint32_t priority = 1;
+    // Fresh context tokens the LIP will prefill up front (0 = unknown or
+    // small). The server ignores it; a disaggregated cluster's router steers
+    // qualifying launches to its prefill-role replicas (see ClusterOptions).
+    uint64_t prefill_hint_tokens = 0;
   };
 
   struct AdmitResult {

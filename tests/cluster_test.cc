@@ -2,10 +2,14 @@
 // aggregate accounting.
 #include <gtest/gtest.h>
 
+#include <cstdlib>
 #include <set>
 #include <string>
+#include <string_view>
 #include <vector>
 
+#include "src/common/hash.h"
+#include "src/common/rng.h"
 #include "src/serve/cluster.h"
 
 namespace symphony {
@@ -306,6 +310,220 @@ TEST(PrefixSharingTest, ColdOrShortFilesAreNotShared) {
   EXPECT_EQ(cluster.SharePrefixes(), 0u);
   EXPECT_EQ(cluster.Snapshot().prefix_publishes, 0u);
 }
+
+// ---- Prefill/decode disaggregation --------------------------------------
+
+// Stress-scalable seeds, same contract as PropertySeeds in property_test.cc.
+std::vector<uint64_t> DisaggSeeds(std::vector<uint64_t> base, uint64_t stream) {
+  const char* stress = std::getenv("SYMPHONY_STRESS");
+  if (stress == nullptr || *stress == '\0' ||
+      std::string_view(stress) == "0") {
+    return base;
+  }
+  uint64_t extra = 64;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(stress, &end, 10);
+  if (end != stress && *end == '\0' && parsed > 1) {
+    extra = parsed;
+  }
+  for (uint64_t i = 0; i < extra; ++i) {
+    base.push_back(Mix64((stream << 32) ^ (i + 1)));
+  }
+  return base;
+}
+
+// Prefills `prompt_len` deterministic tokens, then emits `decode_steps`
+// greedy continuation tokens — the output fingerprints the whole KV state.
+LipProgram PrefillThenDecode(uint64_t prompt_len, int decode_steps) {
+  return [prompt_len, decode_steps](LipContext& ctx) -> Task {
+    std::vector<TokenId> prompt(prompt_len);
+    for (size_t i = 0; i < prompt.size(); ++i) {
+      prompt[i] = static_cast<TokenId>(1 + i % 299);
+    }
+    KvHandle kv = *ctx.kv_tmp();
+    StatusOr<std::vector<Distribution>> d = co_await ctx.pred(kv, prompt);
+    if (!d.ok()) {
+      co_return;
+    }
+    TokenId next = d->back().Argmax();
+    for (int i = 0; i < decode_steps; ++i) {
+      ctx.emit(std::to_string(next) + " ");
+      StatusOr<std::vector<Distribution>> dd = co_await ctx.pred1(kv, next);
+      if (!dd.ok()) {
+        co_return;
+      }
+      next = dd->back().Argmax();
+    }
+    co_return;
+  };
+}
+
+TEST(DisaggregationTest, HintedLaunchesRouteToPrefillPool) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(3, RoutingPolicy::kLeastLoaded);
+  options.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode,
+                   ReplicaRole::kDecode};
+  options.disagg_min_prefill_tokens = 64;
+  SymphonyCluster cluster(&sim, options);
+  EXPECT_EQ(cluster.RoleOf(0), ReplicaRole::kPrefill);
+  // A qualifying hint goes to the prefill pool; an unhinted or sub-threshold
+  // launch must never land behind another LIP's giant prefill.
+  EXPECT_EQ(cluster.RouteFor("", 128), 0u);
+  EXPECT_NE(cluster.RouteFor("", 0), 0u);
+  EXPECT_NE(cluster.RouteFor("", 63), 0u);
+  EXPECT_GT(cluster.Snapshot().disagg_prefill_routes, 0u);
+}
+
+TEST(DisaggregationTest, PrefillHandsOffToDecodePoolBitIdentically) {
+  // The same program on a role-less single replica is the semantic oracle:
+  // disaggregation moves the LIP between machines mid-life but must not
+  // change a single emitted token.
+  constexpr uint64_t kPrompt = 96;
+  constexpr int kDecodes = 8;
+  std::string expected;
+  {
+    Simulator sim;
+    SymphonyCluster cluster(&sim, TinyCluster(1, RoutingPolicy::kLeastLoaded));
+    SymphonyCluster::ClusterLip lip =
+        cluster.Launch("oracle", "", PrefillThenDecode(kPrompt, kDecodes));
+    sim.Run();
+    ASSERT_TRUE(cluster.Done(lip));
+    expected = cluster.Output(lip);
+    ASSERT_FALSE(expected.empty());
+  }
+
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kLeastLoaded);
+  options.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  options.disagg_min_prefill_tokens = 64;
+  options.enable_recovery = true;
+  // Large interval: the only journal fold is the one the handoff forces to
+  // publish the prefilled KV through the store.
+  options.checkpoint_journals = true;
+  options.checkpoint_interval = 100000;
+  SymphonyCluster cluster(&sim, options);
+  SymphonyCluster::ClusterLip lip = cluster.Launch(
+      "rag", "", /*prefill_hint_tokens=*/kPrompt,
+      PrefillThenDecode(kPrompt, kDecodes));
+  EXPECT_EQ(lip.replica, 0u);
+  sim.Run();
+  ASSERT_TRUE(cluster.Done(lip));
+  EXPECT_EQ(cluster.Output(lip), expected);
+  EXPECT_EQ(cluster.Locate(lip).replica, 1u);  // Decoding happened on D.
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.disagg_handoffs, 1u);
+  EXPECT_EQ(snap.replay_divergences, 0u);
+  EXPECT_GE(snap.checkpoints, 1u);   // Prefilled KV was force-published.
+  EXPECT_GE(snap.delta_ships, 1u);   // ...so the ship was ref + suffix.
+}
+
+TEST(DisaggregationTest, SubThresholdPrefillStaysOnItsReplica) {
+  Simulator sim;
+  ClusterOptions options = TinyCluster(2, RoutingPolicy::kLeastLoaded);
+  options.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode};
+  options.disagg_min_prefill_tokens = 512;
+  options.enable_recovery = true;
+  SymphonyCluster cluster(&sim, options);
+  // The hint overstates the actual prefill, so the launch is steered to the
+  // prefill replica — but the completed 96-token context is below the
+  // threshold and the handoff must decline rather than pay the hop.
+  SymphonyCluster::ClusterLip lip = cluster.Launch(
+      "small", "", /*prefill_hint_tokens=*/512, PrefillThenDecode(96, 4));
+  EXPECT_EQ(lip.replica, 0u);
+  sim.Run();
+  ASSERT_TRUE(cluster.Done(lip));
+  EXPECT_EQ(cluster.Locate(lip).replica, 0u);
+  SymphonyCluster::ClusterSnapshot snap = cluster.Snapshot();
+  EXPECT_EQ(snap.disagg_handoffs, 0u);
+  EXPECT_GE(snap.disagg_handoff_skips, 1u);
+}
+
+// Kill/replay during a chunked prefill: the journal holds no trace of
+// partially executed chunks (a pred journals only on completion), so the
+// survivor re-runs the whole pred — chunked again — and the output must be
+// bit-identical to an undisturbed run.
+class ChunkedKillSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ChunkedKillSweepTest, KillMidChunkedPrefillReplaysBitIdentical) {
+  Rng rng(GetParam());
+  const uint64_t prompt_len = 64 + rng.NextBounded(128);
+  const SimDuration kill_at = Micros(100) + Micros(rng.NextBounded(3000));
+
+  auto run = [&](bool kill) -> std::string {
+    Simulator sim;
+    ClusterOptions options = TinyCluster(2, RoutingPolicy::kLeastLoaded);
+    options.enable_recovery = true;
+    options.server.scheduler.prefill_chunk_tokens = 8;
+    options.server.scheduler.decode_priority = true;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip lip =
+        cluster.Launch("victim", "", PrefillThenDecode(prompt_len, 6));
+    if (kill) {
+      sim.ScheduleAt(kill_at, [&] {
+        size_t where = cluster.Locate(lip).replica;
+        if (!cluster.replica_dead(where)) {
+          (void)cluster.KillReplica(where);
+        }
+      });
+    }
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(lip)) << "kill=" << kill;
+    EXPECT_EQ(cluster.Snapshot().replay_divergences, 0u);
+    return cluster.Output(lip);
+  };
+  std::string undisturbed = run(false);
+  ASSERT_FALSE(undisturbed.empty());
+  EXPECT_EQ(run(true), undisturbed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, ChunkedKillSweepTest,
+                         ::testing::ValuesIn(DisaggSeeds({1, 2, 3}, 0xD1)));
+
+// Kill/replay around the prefill->decode handoff: depending on the seed the
+// kill lands before the handoff (on the prefill replica), while the shipped
+// journal is in flight, or after decoding started on the target — the output
+// must be bit-identical in every case.
+class DisaggKillSweepTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(DisaggKillSweepTest, KillAroundHandoffReplaysBitIdentical) {
+  Rng rng(GetParam());
+  const uint64_t prompt_len = 64 + rng.NextBounded(128);
+  const SimDuration kill_at = Micros(100) + Micros(rng.NextBounded(4000));
+
+  auto run = [&](bool kill) -> std::string {
+    Simulator sim;
+    ClusterOptions options = TinyCluster(3, RoutingPolicy::kLeastLoaded);
+    options.roles = {ReplicaRole::kPrefill, ReplicaRole::kDecode,
+                     ReplicaRole::kDecode};
+    options.disagg_min_prefill_tokens = 32;
+    options.enable_recovery = true;
+    options.checkpoint_journals = true;
+    options.server.scheduler.prefill_chunk_tokens = 16;
+    options.server.scheduler.decode_priority = true;
+    SymphonyCluster cluster(&sim, options);
+    SymphonyCluster::ClusterLip lip = cluster.Launch(
+        "handoff", "", /*prefill_hint_tokens=*/prompt_len,
+        PrefillThenDecode(prompt_len, 6));
+    if (kill) {
+      sim.ScheduleAt(kill_at, [&] {
+        size_t where = cluster.Locate(lip).replica;
+        if (!cluster.replica_dead(where)) {
+          (void)cluster.KillReplica(where);
+        }
+      });
+    }
+    sim.Run();
+    EXPECT_TRUE(cluster.Done(lip)) << "kill=" << kill;
+    EXPECT_EQ(cluster.Snapshot().replay_divergences, 0u);
+    return cluster.Output(lip);
+  };
+  std::string undisturbed = run(false);
+  ASSERT_FALSE(undisturbed.empty());
+  EXPECT_EQ(run(true), undisturbed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sweep, DisaggKillSweepTest,
+                         ::testing::ValuesIn(DisaggSeeds({1, 2, 3}, 0xD2)));
 
 }  // namespace
 }  // namespace symphony
